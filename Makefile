@@ -1,0 +1,27 @@
+# Convenience targets for the SPASM reproduction.
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+reproduce:
+	python -m repro reproduce --out reproduction
+
+examples:
+	python examples/quickstart.py
+	python examples/fem_cg_solver.py
+	python examples/graph_pagerank.py
+	python examples/codesign_exploration.py
+	python examples/advanced_tuning.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	    reproduction benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,73 @@
+"""Extension: event-level validation of the HiSparse baseline model.
+
+Companion to ``bench_ext_serpens_validation``: the first-principles
+HiSparse simulator (row-striped channels, bank-conflict shuffle,
+column-pass x windows) runs over a suite subset next to the calibrated
+analytic model.  The event simulator idealizes packing and burst
+behaviour, so it must bound the analytic model from above by a roughly
+constant factor — and its *conflict* accounting should single out the
+same matrices the analytic model penalizes for imbalance.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.analysis.report import format_table
+from repro.baselines import HiSparseModel
+from repro.baselines.hisparse_sim import HiSparseSimulator
+
+MATRICES = ("raefsky3", "bbmat", "x104", "tmt_sym", "stormG2_1000",
+            "mip1")
+
+
+def test_ext_hisparse_validation(benchmark, suite):
+    by_name = dict(suite)
+    analytic = HiSparseModel()
+    simulator = HiSparseSimulator()
+
+    def sweep():
+        out = {}
+        for name in MATRICES:
+            coo = by_name[name]
+            run = simulator.run(coo, np.ones(coo.shape[1]))
+            out[name] = {
+                "analytic": analytic.gflops(coo),
+                "event": run.gflops,
+                "conflicts": run.conflict_cycles,
+                "passes": run.passes,
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            r["analytic"],
+            r["event"],
+            r["conflicts"],
+            r["passes"],
+            r["event"] / r["analytic"],
+        ]
+        for name, r in results.items()
+    ]
+    ratios = [r[-1] for r in rows]
+    gm = math.exp(sum(math.log(v) for v in ratios) / len(ratios))
+    rows.append(["geomean", "", "", "", "", gm])
+    table = format_table(
+        [
+            "matrix", "analytic GF/s", "event GF/s", "conflicts",
+            "passes", "event/analytic",
+        ],
+        rows,
+        title="Extension: HiSparse analytic model vs event simulator",
+    )
+    publish("ext_hisparse_validation", table)
+
+    for name, r in results.items():
+        assert r["event"] > r["analytic"], name
+    assert max(ratios) / min(ratios) < 12.0
+    # The imbalanced matrix must show real shuffle serialization.
+    assert results["mip1"]["conflicts"] > results["tmt_sym"]["conflicts"]

@@ -1,0 +1,46 @@
+"""Figure 3: CDF of the top-n occurring local patterns across matrices.
+
+Regenerates the cumulative coverage series for the whole Table II suite
+and benchmarks the suite-wide histogram pass.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.frequency import pattern_cdf_table
+from repro.core import analyze_local_patterns
+
+TOP_NS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_fig03_pattern_cdf(benchmark, suite):
+    def suite_histograms():
+        return [analyze_local_patterns(coo) for __, coo in suite]
+
+    histograms = benchmark(suite_histograms)
+
+    from repro.analysis.charts import line_chart
+
+    chart_names = ("raefsky3", "cfd2", "stormG2_1000")
+    by_name = dict(suite)
+    series = {
+        name: [
+            analyze_local_patterns(by_name[name]).coverage_of_top(n)
+            * 100.0
+            for n in TOP_NS
+        ]
+        for name in chart_names
+    }
+    chart = line_chart(
+        series,
+        title="CDF of top-n local patterns (%)",
+        x_labels=[f"top-{TOP_NS[0]}", f"top-{TOP_NS[-1]}"],
+    )
+    publish(
+        "fig03_pattern_cdf",
+        pattern_cdf_table(suite, TOP_NS) + "\n\n" + chart,
+    )
+
+    # Paper shape: for most matrices a small top-n already dominates;
+    # top-64 must capture the majority of submatrices on the bulk of
+    # the suite.
+    strong = sum(1 for h in histograms if h.coverage_of_top(64) > 0.5)
+    assert strong >= len(histograms) * 0.7

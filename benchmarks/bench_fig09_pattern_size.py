@@ -1,0 +1,42 @@
+"""Figure 9: storage costs under different local pattern sizes.
+
+Sweeps 2x2, 3x3 and 4x4 local patterns over the suite and reports the
+SPASM bytes-per-nnz of the best portfolio at each size.  The paper's
+finding: 2x2 and 4x4 are marginally more efficient than 3x3, and 4x4 is
+chosen for parallelism.
+"""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.analysis.report import format_table
+from repro.analysis.storage_compare import pattern_size_sweep
+
+KS = (2, 3, 4)
+
+
+def test_fig09_pattern_size(benchmark, suite):
+    result = benchmark(pattern_size_sweep, suite, KS)
+
+    rows = [
+        [name] + [per_k[k] for k in KS] for name, per_k in result.items()
+    ]
+    geomeans = [
+        math.exp(
+            sum(math.log(per_k[k]) for per_k in result.values())
+            / len(result)
+        )
+        for k in KS
+    ]
+    rows.append(["geomean"] + geomeans)
+    table = format_table(
+        ["matrix"] + [f"{k}x{k} B/nnz" for k in KS],
+        rows,
+        title="Figure 9: storage cost vs local pattern size",
+    )
+    publish("fig09_pattern_size", table)
+
+    # Paper shape: every size beats raw COO (12 B/nnz) on average, and
+    # the 4x4 choice is no worse than 3x3 overall.
+    assert all(gm < 12.0 for gm in geomeans)
+    assert geomeans[KS.index(4)] <= geomeans[KS.index(3)] * 1.05

@@ -1,0 +1,49 @@
+"""Figure 10: storage costs of different template pattern selections.
+
+Decomposes every suite matrix under each of the ten Table V candidate
+portfolios plus the dynamic (per-matrix best) selection, reporting
+bytes-per-nnz.  The paper's finding: no single portfolio fits all
+matrices; dynamic selection is never worse than any fixed choice.
+"""
+
+import math
+
+from benchmarks.conftest import publish
+from repro.analysis.report import format_table
+from repro.analysis.storage_compare import template_selection_sweep
+
+
+def test_fig10_template_selection(benchmark, suite):
+    result = benchmark(template_selection_sweep, suite)
+
+    columns = [f"portfolio-{i}" for i in range(10)] + ["dynamic"]
+    rows = [
+        [name] + [row[c] for c in columns]
+        for name, row in result.items()
+    ]
+    geomeans = []
+    for c in columns:
+        values = [row[c] for row in result.values()]
+        geomeans.append(
+            math.exp(sum(math.log(v) for v in values) / len(values))
+        )
+    rows.append(["geomean"] + geomeans)
+    table = format_table(
+        ["matrix"] + [c.replace("portfolio-", "p") for c in columns],
+        rows,
+        title="Figure 10: SPASM bytes/nnz per template portfolio",
+    )
+    publish("fig10_template_selection", table)
+
+    # Dynamic selection dominates every fixed portfolio.
+    dynamic_gm = geomeans[-1]
+    assert all(dynamic_gm <= gm + 1e-9 for gm in geomeans[:-1])
+    # No one-fits-all: different matrices prefer different portfolios.
+    winners = {
+        min(
+            (c for c in columns[:-1]),
+            key=lambda c: result[name][c],
+        )
+        for name in result
+    }
+    assert len(winners) >= 2

@@ -1,0 +1,69 @@
+"""Figure 12: throughput and bandwidth efficiency vs all baselines.
+
+Runs the full SPASM pipeline (pattern analysis -> portfolio selection ->
+decomposition -> schedule exploration -> perf model) per matrix and
+compares modeled GFLOP/s and (GFLOP/s)/(GB/s) against HiSparse,
+Serpens_a16/a24 and cuSPARSE on the RTX 3090.
+
+Paper shape targets: geomean speedups ~6.74x / 3.21x / 2.81x over
+HiSparse / Serpens_a16 / Serpens_a24, and ~0.75x vs the GPU with SPASM
+winning on the most structured matrices; bandwidth-efficiency geomeans
+~4.18x / 2.21x / 2.71x / 1.68x.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.metrics import (
+    bandwidth_efficiency_table,
+    render_throughput,
+    throughput_table,
+)
+
+
+def test_fig12_throughput(benchmark, suite, spasm_model, baseline_models):
+    result = benchmark.pedantic(
+        throughput_table,
+        args=(suite, spasm_model, baseline_models),
+        rounds=1,
+        iterations=1,
+    )
+
+    from repro.analysis.charts import bar_chart
+
+    names = [m.name for m in baseline_models]
+    text = [render_throughput(result, names)]
+    text.append("")
+    text.append(bar_chart(
+        names,
+        [result["summary"][n]["geomean"] for n in names],
+        title="Geomean SPASM speedup per baseline (x)",
+        unit="x",
+    ))
+
+    be = bandwidth_efficiency_table(suite, spasm_model, baseline_models)
+    text.append("")
+    text.append("Bandwidth efficiency improvement (min / geomean / max):")
+    for name, s in be["summary"].items():
+        text.append(
+            f"  vs {name:<12s} {s['min']:.2f}x / {s['geomean']:.2f}x / "
+            f"{s['max']:.2f}x"
+        )
+    publish("fig12_throughput", "\n".join(text))
+
+    summary = result["summary"]
+    # Ordering of the FPGA baselines must match the paper.
+    assert (
+        summary["HiSparse"]["geomean"]
+        > summary["Serpens_a16"]["geomean"]
+        > summary["Serpens_a24"]["geomean"]
+        > 1.0
+    )
+    # Rough magnitudes (the shape, not exact numbers).
+    assert 4.0 < summary["HiSparse"]["geomean"] < 10.0
+    assert 2.0 < summary["Serpens_a16"]["geomean"] < 5.0
+    assert 1.8 < summary["Serpens_a24"]["geomean"] < 4.5
+    # GPU wins on geomean but SPASM wins somewhere.
+    assert summary["RTX 3090"]["geomean"] < 1.0
+    assert summary["RTX 3090"]["max"] > 1.0
+    # Bandwidth efficiency favors SPASM against every platform.
+    for name in names:
+        assert be["summary"][name]["geomean"] > 1.0

@@ -1,0 +1,59 @@
+"""Figure 13: percentage of peak bandwidth and compute utilized.
+
+Paper shape: SPASM sustains a far higher fraction of both its peak
+bandwidth and its peak compute than the FPGA baselines and the GPU —
+the payoff of the customized format (fewer bytes per useful FLOP) and
+the schedule exploration (balanced PEs).
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.metrics import geomean, utilization_table
+from repro.analysis.report import format_table
+
+
+def test_fig13_utilization(benchmark, suite, spasm_model, baseline_models):
+    rows = benchmark.pedantic(
+        utilization_table,
+        args=(suite, spasm_model, baseline_models),
+        rounds=1,
+        iterations=1,
+    )
+
+    platforms = ["SPASM"] + [m.name for m in baseline_models]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row["name"]]
+            + [row[p]["bandwidth"] * 100 for p in platforms]
+            + [row[p]["compute"] * 100 for p in platforms]
+        )
+    headers = (
+        ["matrix"]
+        + [f"{p} bw%" for p in platforms]
+        + [f"{p} comp%" for p in platforms]
+    )
+    table = format_table(
+        headers, table_rows,
+        title="Figure 13: % of peak bandwidth / compute utilized",
+        precision=1,
+    )
+
+    summary = {
+        p: {
+            "bandwidth": geomean([row[p]["bandwidth"] for row in rows]),
+            "compute": geomean([row[p]["compute"] for row in rows]),
+        }
+        for p in platforms
+    }
+    lines = [table, "", "Geomean utilization:"]
+    for p in platforms:
+        lines.append(
+            f"  {p:<12s} bandwidth {summary[p]['bandwidth'] * 100:5.1f}%  "
+            f"compute {summary[p]['compute'] * 100:5.1f}%"
+        )
+    publish("fig13_utilization", "\n".join(lines))
+
+    # SPASM's utilization beats every baseline on both axes (geomean).
+    for p in platforms[1:]:
+        assert summary["SPASM"]["bandwidth"] > summary[p]["bandwidth"]
+        assert summary["SPASM"]["compute"] > summary[p]["compute"]

@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md's experiment index), prints it, and
+writes it to ``benchmarks/results/<experiment>.txt`` so the output
+survives pytest's stdout capture.  The ``benchmark`` fixture times the
+computation that produces the data.
+
+Set ``REPRO_BENCH_SCALE`` to grow the synthetic workloads toward paper
+size (default 1.0 keeps everything laptop-fast).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.baselines import (
+    CuSparseRTX3090Model,
+    HiSparseModel,
+    SERPENS_A16,
+    SERPENS_A24,
+    SpasmModel,
+)
+from repro.synth import load_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Workload scale factor (env-tunable)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The 20-matrix Table II suite as (name, matrix) pairs."""
+    return [
+        (spec.name, matrix)
+        for spec, matrix in load_suite(scale=bench_scale())
+    ]
+
+
+@pytest.fixture(scope="session")
+def suite_specs():
+    """The suite with full spec objects attached."""
+    return list(load_suite(scale=bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def spasm_model():
+    """One SPASM model shared across benchmarks (compilations cached)."""
+    return SpasmModel()
+
+
+@pytest.fixture(scope="session")
+def baseline_models():
+    """The four paper baselines in Table III order."""
+    return [
+        HiSparseModel(),
+        SERPENS_A16(),
+        SERPENS_A24(),
+        CuSparseRTX3090Model(),
+    ]
+
+
+def publish(experiment: str, text: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    print(f"\n=== {experiment} ===\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n", encoding="utf-8")

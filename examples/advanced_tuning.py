@@ -1,0 +1,104 @@
+"""Advanced tuning: reordering + greedy portfolio + persistent encoding.
+
+Chains the repository's extension features on a deliberately hostile
+input — a scattered matrix with latent structure — and shows each stage
+paying off:
+
+1. reordering recovers locality the row order had destroyed;
+2. a greedy-built custom portfolio beats every Table V candidate;
+3. the tuned encoding is persisted and reloaded for reuse;
+4. the fast simulation engine verifies the result at full speed.
+
+Run with:  python examples/advanced_tuning.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import SpasmAccelerator
+from repro.core import (
+    GreedyPortfolioBuilder,
+    analyze_local_patterns,
+    best_reordering,
+    candidate_portfolios,
+    encode_spasm,
+    load_spasm,
+    save_spasm,
+    select_portfolio,
+)
+from repro.core.selection import storage_bytes_estimate
+from repro.hw.configs import SPASM_4_1
+from repro.synth import generators as g
+
+
+def build_hostile_matrix():
+    """Latent diagonal structure hidden behind a random row order."""
+    from repro.core.reorder import apply_permutation
+
+    base = g.overlay(
+        g.diagonal_stripes(2048, (0, 513), fill=0.95, seed=5),
+        g.random_uniform(2048, 2e-4, seed=6),
+    )
+    rng = np.random.default_rng(7)
+    scramble = rng.permutation(base.shape[0])
+    return apply_permutation(
+        base, scramble, np.arange(base.shape[1])
+    ).matrix
+
+
+def main():
+    coo = build_hostile_matrix()
+    print(f"input: {coo.shape}, nnz={coo.nnz}")
+
+    # 1. Reordering.
+    before = analyze_local_patterns(coo)
+    reordered = best_reordering(coo)
+    after = analyze_local_patterns(reordered.matrix)
+    print(f"reordering: {before.total} -> {after.total} non-empty "
+          f"submatrices (fewer is denser)")
+
+    # 2. Portfolio: Table V candidates vs greedy universe build.
+    selection = select_portfolio(after)
+    candidate_bytes = storage_bytes_estimate(after, selection.portfolio)
+    greedy = GreedyPortfolioBuilder().build(after)
+    greedy_bytes = storage_bytes_estimate(after, greedy.portfolio)
+    print(f"portfolio: best candidate {selection.portfolio.name} = "
+          f"{candidate_bytes / coo.nnz:.2f} B/nnz, greedy custom = "
+          f"{greedy_bytes / coo.nnz:.2f} B/nnz")
+    portfolio = (
+        greedy.portfolio
+        if greedy_bytes < candidate_bytes
+        else selection.portfolio
+    )
+
+    # 3. Encode and persist.
+    spasm = encode_spasm(reordered.matrix, portfolio, tile_size=512)
+    with tempfile.NamedTemporaryFile(suffix=".npz") as handle:
+        save_spasm(handle.name, spasm)
+        reloaded = load_spasm(handle.name)
+    print(f"persisted encoding: {spasm.storage_bytes()} bytes, "
+          f"padding {spasm.padding_rate:.1%}")
+
+    # 4. Verify with the fast engine, in the original index space.
+    x = np.random.default_rng(8).random(coo.shape[1])
+    result = SpasmAccelerator(SPASM_4_1).run(
+        reloaded, x[reordered.col_perm], engine="fast"
+    )
+    y = np.empty_like(result.y)
+    y[reordered.row_perm] = result.y
+    assert np.allclose(y, coo.spmv(x)), "verification failed"
+    print(f"fast-engine verification: exact "
+          f"({result.gflops:.1f} GFLOP/s modeled, "
+          f"bottleneck {result.bottleneck})")
+
+    baseline = encode_spasm(coo, candidate_portfolios()[0], 512)
+    print(f"untuned baseline: {baseline.storage_bytes()} bytes, "
+          f"padding {baseline.padding_rate:.1%}")
+    print(f"tuned pipeline saves "
+          f"{1 - spasm.storage_bytes() / baseline.storage_bytes():.1%} "
+          "of the encoded size")
+
+
+if __name__ == "__main__":
+    main()

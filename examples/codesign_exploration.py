@@ -1,0 +1,70 @@
+"""Hardware-software co-design exploration across the workload suite.
+
+Reproduces the heart of the SPASM framework interactively: for a set of
+matrices with very different structures, show which template portfolio,
+tile size and hardware bitstream the framework selects, and what each
+choice buys over a one-size-fits-all configuration.
+
+Run with:  python examples/codesign_exploration.py
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines import SpasmModel
+from repro.core import candidate_portfolios
+from repro.hw.configs import SPASM_4_1
+from repro.synth import load_suite
+
+MATRICES = (
+    "raefsky3",      # one dense block pattern
+    "mip1",          # imbalanced dense rows
+    "c-73",          # anti-diagonal stripes
+    "t2em",          # diagonal stripes
+    "x104",          # row segments
+    "stormG2_1000",  # staircase LP
+)
+
+
+def main():
+    fixed = SpasmModel(
+        fixed_portfolio=candidate_portfolios()[0],
+        fixed_tile_size=256,
+        fixed_hw_config=SPASM_4_1,
+    )
+    adaptive = SpasmModel()
+
+    rows = []
+    for spec, coo in load_suite(names=MATRICES):
+        program = adaptive.program(coo)
+        g_fixed = fixed.gflops(coo)
+        g_adaptive = adaptive.gflops(coo)
+        rows.append(
+            [
+                spec.name,
+                spec.pattern_kind,
+                program.portfolio.name,
+                program.tile_size,
+                program.hw_config.name,
+                f"{program.spasm.padding_rate:.1%}",
+                g_fixed,
+                g_adaptive,
+                g_adaptive / g_fixed,
+            ]
+        )
+
+    print(format_table(
+        [
+            "matrix", "structure", "portfolio", "tile", "bitstream",
+            "padding", "fixed GF/s", "adaptive GF/s", "gain",
+        ],
+        rows,
+        title="SPASM co-design choices per matrix structure",
+    ))
+    print()
+    print("Reading the table: the framework picks anti-diagonal "
+          "templates for c-73, a different bitstream for the imbalanced "
+          "mip1, and leaves the already-optimal raefsky3 alone — no "
+          "single static design serves all of them.")
+
+
+if __name__ == "__main__":
+    main()

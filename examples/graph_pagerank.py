@@ -1,0 +1,73 @@
+"""PageRank over a Mycielskian graph with SPASM SpMV.
+
+Graph analytics is one of the SpMV application domains the paper's
+introduction motivates (the mycielskian14 workload).  PageRank's power
+iteration is a chain of SpMV calls over a fixed matrix — another
+preprocessing-amortizing workload.
+
+Run with:  python examples/graph_pagerank.py
+"""
+
+import numpy as np
+
+from repro import COOMatrix, SpasmCompiler
+from repro.synth import generators as g
+
+
+def column_stochastic(adjacency: COOMatrix) -> COOMatrix:
+    """Normalize columns so each sums to 1 (dangling columns untouched)."""
+    out_degree = np.bincount(
+        adjacency.cols, minlength=adjacency.shape[1]
+    ).astype(np.float64)
+    scale = np.where(out_degree > 0, 1.0 / np.maximum(out_degree, 1), 0.0)
+    return COOMatrix(
+        adjacency.rows,
+        adjacency.cols,
+        adjacency.vals * 0 + scale[adjacency.cols],
+        adjacency.shape,
+    )
+
+
+def pagerank(spmv, n, damping=0.85, tol=1e-10, max_iters=200):
+    """Power iteration; ``spmv`` computes M @ rank."""
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for iteration in range(max_iters):
+        new_rank = damping * spmv(rank) + teleport
+        # Redistribute dangling mass uniformly.
+        new_rank += (1.0 - new_rank.sum()) / n
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank, iteration + 1
+        rank = new_rank
+    return rank, max_iters
+
+
+def main():
+    graph = g.mycielskian_graph(10)
+    n = graph.shape[0]
+    print(f"Mycielskian M10 graph: {n} vertices, {graph.nnz} edges")
+
+    transition = column_stochastic(graph)
+    compiler = SpasmCompiler(tile_sizes=(64, 128, 256, 512))
+    program = compiler.compile(transition)
+    print(f"portfolio={program.portfolio.name}, "
+          f"tile={program.tile_size}, hw={program.hw_config.name}, "
+          f"padding={program.spasm.padding_rate:.1%}")
+
+    rank, iters = pagerank(program.spasm.spmv, n)
+    print(f"PageRank converged in {iters} iterations")
+
+    reference, __ = pagerank(transition.spmv, n)
+    assert np.allclose(rank, reference)
+    print("result check: SPASM ranks == reference ranks")
+
+    top = np.argsort(rank)[::-1][:5]
+    print("top-5 vertices by rank:")
+    for v in top:
+        print(f"  vertex {v:5d}  rank {rank[v]:.6f}")
+    print(f"modeled SpMV throughput: {program.estimated_gflops():.1f} "
+          f"GFLOP/s on {program.hw_config.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments without the ``wheel`` package, where
+pip's PEP 660 editable-install path is unavailable; metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

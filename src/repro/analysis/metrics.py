@@ -1,0 +1,156 @@
+"""Throughput, speedup, utilization and energy metrics (Figures 12-13,
+Table VII)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.report import format_table
+from repro.hw.power import energy_efficiency, platform_power, spasm_power
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's average for speedups)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_summary(speedups) -> dict:
+    """Min / max / geomean of a speedup series (Table VI style)."""
+    speedups = [float(s) for s in speedups]
+    return {
+        "min": min(speedups),
+        "max": max(speedups),
+        "geomean": geomean(speedups),
+    }
+
+
+def throughput_table(matrices, spasm_model, baseline_models) -> dict:
+    """Figure 12 data: per-matrix GFLOP/s and speedups vs each baseline.
+
+    Parameters
+    ----------
+    matrices:
+        Iterable of ``(name, COOMatrix)``.
+    spasm_model:
+        :class:`repro.baselines.spasm.SpasmModel`.
+    baseline_models:
+        List of :class:`AcceleratorModel` baselines.
+
+    Returns
+    -------
+    dict with ``rows`` (per-matrix records), ``speedups`` (per baseline
+    name, the per-matrix speedup list) and ``summary`` (per baseline,
+    min/max/geomean).
+    """
+    rows = []
+    speedups = {model.name: [] for model in baseline_models}
+    for name, coo in matrices:
+        spasm_gflops = spasm_model.gflops(coo)
+        record = {"name": name, "SPASM": spasm_gflops}
+        for model in baseline_models:
+            base_gflops = model.gflops(coo)
+            record[model.name] = base_gflops
+            speedups[model.name].append(spasm_gflops / base_gflops)
+        rows.append(record)
+    summary = {
+        name: speedup_summary(values) for name, values in speedups.items()
+    }
+    return {"rows": rows, "speedups": speedups, "summary": summary}
+
+
+def bandwidth_efficiency_table(matrices, spasm_model,
+                               baseline_models) -> dict:
+    """Figure 12 (bottom) data: (GFLOP/s)/(GB/s) and improvement ratios."""
+    rows = []
+    ratios = {model.name: [] for model in baseline_models}
+    for name, coo in matrices:
+        spasm_be = spasm_model.bandwidth_efficiency(coo)
+        record = {"name": name, "SPASM": spasm_be}
+        for model in baseline_models:
+            base_be = model.bandwidth_efficiency(coo)
+            record[model.name] = base_be
+            ratios[model.name].append(spasm_be / base_be)
+        rows.append(record)
+    summary = {
+        name: speedup_summary(values) for name, values in ratios.items()
+    }
+    return {"rows": rows, "ratios": ratios, "summary": summary}
+
+
+def utilization_table(matrices, spasm_model, baseline_models) -> list:
+    """Figure 13 data: % of peak bandwidth and compute per platform."""
+    rows = []
+    for name, coo in matrices:
+        record = {
+            "name": name,
+            "SPASM": {
+                "bandwidth": spasm_model.bandwidth_utilization(coo),
+                "compute": spasm_model.compute_utilization(coo),
+            },
+        }
+        for model in baseline_models:
+            record[model.name] = {
+                "bandwidth": model.bandwidth_utilization(coo),
+                "compute": model.compute_utilization(coo),
+            }
+        rows.append(record)
+    return rows
+
+
+def energy_table(matrices, spasm_model, baseline_models) -> list:
+    """Table VII data: average power and energy efficiency per platform.
+
+    Throughput is averaged (geomean) over the suite; power comes from
+    the Table VII model.
+    """
+    platforms = []
+    spasm_gflops = geomean(
+        [spasm_model.gflops(coo) for __, coo in matrices]
+    )
+    spasm_watts = geomean(
+        [
+            spasm_power(spasm_model.program(coo).hw_config)
+            for __, coo in matrices
+        ]
+    )
+    for model in baseline_models:
+        gflops = geomean([model.gflops(coo) for __, coo in matrices])
+        watts = platform_power(model.name)
+        platforms.append(
+            {
+                "name": model.name,
+                "power_w": watts,
+                "gflops": gflops,
+                "efficiency": energy_efficiency(gflops, watts),
+            }
+        )
+    platforms.append(
+        {
+            "name": "SPASM",
+            "power_w": spasm_watts,
+            "gflops": spasm_gflops,
+            "efficiency": energy_efficiency(spasm_gflops, spasm_watts),
+        }
+    )
+    return platforms
+
+
+def render_throughput(result: dict, baseline_names) -> str:
+    """Human-readable Figure 12 table."""
+    headers = ["matrix", "SPASM"] + list(baseline_names)
+    rows = [
+        [r["name"]] + [r[h] for h in headers[1:]] for r in result["rows"]
+    ]
+    table = format_table(headers, rows, title="Throughput (GFLOP/s)")
+    lines = [table, "", "Speedup of SPASM (min / geomean / max):"]
+    for name, s in result["summary"].items():
+        lines.append(
+            f"  vs {name:<12s} {s['min']:.2f}x / {s['geomean']:.2f}x / "
+            f"{s['max']:.2f}x"
+        )
+    return "\n".join(lines)

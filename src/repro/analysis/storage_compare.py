@@ -1,0 +1,116 @@
+"""Storage cost comparison machinery (Figures 9-11, Table VI)."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean
+from repro.analysis.report import format_table
+from repro.core.patterns import analyze_local_patterns
+from repro.core.selection import select_portfolio, storage_bytes_estimate
+from repro.core.templates import candidate_portfolios
+from repro.matrix.storage import storage_report
+
+
+def spasm_storage_bytes(coo, portfolio=None, coverage: float = 0.95) -> int:
+    """SPASM storage cost with a dynamically selected portfolio.
+
+    When ``portfolio`` is given it is used directly (the fixed-portfolio
+    series of Figure 10); otherwise Algorithm 3 picks the best candidate
+    for the matrix.
+    """
+    histogram = analyze_local_patterns(coo)
+    if portfolio is None:
+        selection = select_portfolio(histogram, coverage=coverage)
+        portfolio = selection.portfolio
+    return storage_bytes_estimate(histogram, portfolio)
+
+
+def suite_storage_reports(matrices, coverage: float = 0.95):
+    """Figure 11 data: per-matrix storage reports including SPASM."""
+    reports = []
+    for name, coo in matrices:
+        spasm_bytes = spasm_storage_bytes(coo, coverage=coverage)
+        reports.append(storage_report(coo, name, spasm_bytes=spasm_bytes))
+    return reports
+
+
+def storage_summary(reports) -> dict:
+    """Table VI: min/max/geomean COO-normalized improvement per format."""
+    formats = [f for f in reports[0].formats if f != "COO"]
+    summary = {}
+    for fmt in formats:
+        improvements = [r.improvement(fmt) for r in reports]
+        summary[fmt] = {
+            "min": min(improvements),
+            "max": max(improvements),
+            "geomean": geomean(improvements),
+        }
+    return summary
+
+
+def render_storage_comparison(reports) -> str:
+    """Human-readable Figure 11 + Table VI output."""
+    formats = reports[0].formats
+    headers = ["matrix"] + list(formats)
+    rows = [
+        [r.name] + [r.improvement(fmt) for fmt in formats]
+        for r in reports
+    ]
+    table = format_table(
+        headers, rows,
+        title="Storage improvement over COO (higher is better)",
+    )
+    summary = storage_summary(reports)
+    lines = [table, "", "Table VI (min / geomean / max):"]
+    for fmt, s in summary.items():
+        lines.append(
+            f"  {fmt:<20s} {s['min']:.2f}x / {s['geomean']:.2f}x / "
+            f"{s['max']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def pattern_size_sweep(matrices, ks=(2, 3, 4)) -> dict:
+    """Figure 9 data: SPASM bytes/nnz under different pattern sizes.
+
+    For each pattern size the best vector-family portfolio is selected
+    per matrix (Algorithm 3), mirroring the paper's sweep.
+    """
+    results = {}
+    for name, coo in matrices:
+        per_k = {}
+        for k in ks:
+            histogram = analyze_local_patterns(coo, k)
+            selection = select_portfolio(
+                histogram, candidates=candidate_portfolios(k)
+            )
+            bytes_total = storage_bytes_estimate(
+                histogram, selection.portfolio
+            )
+            per_k[k] = bytes_total / max(coo.nnz, 1)
+        results[name] = per_k
+    return results
+
+
+def template_selection_sweep(matrices, coverage: float = 0.95) -> dict:
+    """Figure 10 data: SPASM bytes/nnz per fixed portfolio + dynamic.
+
+    Returns ``{matrix: {portfolio_name: bytes_per_nnz, ...,
+    "dynamic": bytes_per_nnz}}``; uncoverable (portfolio, matrix) pairs
+    are reported as ``float("inf")``.
+    """
+    candidates = candidate_portfolios()
+    results = {}
+    for name, coo in matrices:
+        histogram = analyze_local_patterns(coo)
+        row = {}
+        for portfolio in candidates:
+            try:
+                row[portfolio.name] = (
+                    storage_bytes_estimate(histogram, portfolio)
+                    / max(coo.nnz, 1)
+                )
+            except Exception:
+                row[portfolio.name] = float("inf")
+        row["dynamic"] = min(row.values())
+        results[name] = row
+    return results

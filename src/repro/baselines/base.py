@@ -1,0 +1,126 @@
+"""Shared interface and matrix statistics for the baseline models."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from repro.matrix.coo import COOMatrix
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixStats:
+    """Structure statistics that drive the baseline efficiency models.
+
+    Attributes
+    ----------
+    nnz, nrows, ncols:
+        Basic dimensions.
+    density:
+        ``nnz / (nrows * ncols)``.
+    row_cv:
+        Coefficient of variation of the row lengths — the load-imbalance
+        driver (dense-row matrices like mip1 score high).
+    avg_row_len:
+        Mean non-zeros per non-empty row; short rows bubble streaming
+        pipelines.
+    col_span:
+        Mean per-row column spread relative to ``ncols`` — a proxy for
+        x-vector access locality (banded matrices score near 0, scattered
+        ones near 1).
+    """
+
+    nnz: int
+    nrows: int
+    ncols: int
+    density: float
+    row_cv: float
+    avg_row_len: float
+    col_span: float
+
+
+def matrix_stats(coo: COOMatrix) -> MatrixStats:
+    """Compute the :class:`MatrixStats` of a matrix."""
+    nnz = coo.nnz
+    if nnz == 0:
+        return MatrixStats(0, coo.shape[0], coo.shape[1], 0.0, 0.0, 0.0, 0.0)
+    lengths = np.bincount(coo.rows, minlength=coo.shape[0])
+    nonempty = lengths[lengths > 0]
+    mean = nonempty.mean()
+    cv = float(nonempty.std() / mean) if mean else 0.0
+
+    # Per-row column span via segment min/max on row-major sorted COO.
+    starts = np.concatenate(([0], np.cumsum(nonempty)))[:-1]
+    col_min = np.minimum.reduceat(coo.cols, starts)
+    col_max = np.maximum.reduceat(coo.cols, starts)
+    span = float((col_max - col_min).mean() / max(coo.shape[1], 1))
+
+    return MatrixStats(
+        nnz=nnz,
+        nrows=coo.shape[0],
+        ncols=coo.shape[1],
+        density=coo.density,
+        row_cv=cv,
+        avg_row_len=float(mean),
+        col_span=span,
+    )
+
+
+class AcceleratorModel(abc.ABC):
+    """Common interface of every modeled SpMV platform.
+
+    Concrete models implement :meth:`time_s`; throughput, bandwidth
+    efficiency and utilization metrics derive from it uniformly, using
+    the paper's FLOP accounting ``2 * nnz + nrows``.
+    """
+
+    #: Platform label used in reports.
+    name: str
+    #: Core clock in Hz.
+    frequency_hz: float
+    #: Aggregate memory bandwidth in bytes/s.
+    bandwidth: float
+    #: Peak arithmetic throughput in GFLOP/s.
+    peak_gflops: float
+
+    @abc.abstractmethod
+    def time_s(self, coo: COOMatrix) -> float:
+        """Modeled execution time of one SpMV."""
+
+    def flops(self, coo: COOMatrix) -> int:
+        """Paper FLOP accounting for one SpMV."""
+        return 2 * coo.nnz + coo.shape[0]
+
+    def gflops(self, coo: COOMatrix) -> float:
+        """Modeled throughput in GFLOP/s."""
+        t = self.time_s(coo)
+        return self.flops(coo) / t / 1e9 if t > 0 else 0.0
+
+    def bandwidth_efficiency(self, coo: COOMatrix) -> float:
+        """Figure 12 metric: (GFLOP/s) / (GB/s)."""
+        return self.gflops(coo) / (self.bandwidth / 1e9)
+
+    def compute_utilization(self, coo: COOMatrix) -> float:
+        """Figure 13 metric: fraction of peak GFLOP/s achieved."""
+        return self.gflops(coo) / self.peak_gflops
+
+    def bytes_streamed(self, coo: COOMatrix) -> float:
+        """Bytes the platform moves for one SpMV (model-specific)."""
+        raise NotImplementedError
+
+    def bandwidth_utilization(self, coo: COOMatrix) -> float:
+        """Figure 13 metric: fraction of peak bandwidth used."""
+        t = self.time_s(coo)
+        if t <= 0:
+            return 0.0
+        return self.bytes_streamed(coo) / t / self.bandwidth
+
+    def describe(self) -> str:
+        """Table III style one-liner."""
+        return (
+            f"{self.name}: {self.frequency_hz / 1e6:.0f} MHz, "
+            f"{self.bandwidth / 1e9:.1f} GB/s, "
+            f"{self.peak_gflops:.1f} GFLOP/s peak"
+        )

@@ -1,0 +1,76 @@
+"""cuSPARSE-on-RTX3090 baseline model (paper Table III row 4).
+
+cuSPARSE CSR SpMV on large matrices is memory-bandwidth-bound; the model
+is a roofline over the published 935.8 GB/s with an x-gather locality
+term: every non-zero reads 8 bytes of A plus a 4-byte x element whose
+cache hit rate depends on per-row column locality and on how much x
+reuse the matrix offers (``nnz / ncols``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AcceleratorModel, matrix_stats
+from repro.matrix.coo import COOMatrix
+
+#: Published platform specification (paper Table III).
+RTX3090_FREQUENCY = 1560e6
+RTX3090_BANDWIDTH = 935.8e9
+RTX3090_PEAK_GFLOPS = 35580.0  # 35.58 TFLOP/s (FP32)
+
+#: L2-resident x window (elements) for the gather hit-rate model.
+L2_WINDOW = 1.5e6
+#: Calibration constants (see EXPERIMENTS.md).
+BASE_EFFICIENCY = 0.30
+SHORT_ROW_WEIGHT = 3.5
+IMBALANCE_WEIGHT = 0.30
+
+
+class CuSparseRTX3090Model(AcceleratorModel):
+    """Analytic model of cuSPARSE CSR SpMV on the RTX 3090."""
+
+    name = "RTX 3090"
+    frequency_hz = RTX3090_FREQUENCY
+    bandwidth = RTX3090_BANDWIDTH
+    peak_gflops = RTX3090_PEAK_GFLOPS
+
+    def __init__(self, launch_overhead_s: float = 0.0):
+        self.launch_overhead_s = launch_overhead_s
+
+    def _x_miss_rate(self, stats) -> float:
+        """Fraction of x gathers missing the cached window."""
+        if stats.ncols == 0:
+            return 0.0
+        footprint = stats.ncols * 4
+        if footprint <= L2_WINDOW * 4:
+            return 0.0
+        # Scattered accesses over a footprint larger than L2: misses grow
+        # with per-row span.
+        overflow = 1.0 - (L2_WINDOW * 4) / footprint
+        return overflow * min(stats.col_span * 4.0, 1.0)
+
+    def bytes_streamed(self, coo: COOMatrix) -> float:
+        """CSR stream + row pointers + y write + x gather misses."""
+        stats = matrix_stats(coo)
+        a_bytes = stats.nnz * 8
+        ptr_bytes = (stats.nrows + 1) * 4
+        y_bytes = stats.nrows * 8
+        x_bytes = stats.ncols * 4 + stats.nnz * 4 * self._x_miss_rate(stats)
+        return a_bytes + ptr_bytes + y_bytes + x_bytes
+
+    def efficiency(self, coo: COOMatrix) -> float:
+        """Fraction of peak bandwidth the kernel sustains."""
+        stats = matrix_stats(coo)
+        if stats.nnz == 0:
+            return 1.0
+        short_rows = 1.0 + SHORT_ROW_WEIGHT / max(stats.avg_row_len, 1.0)
+        imbalance = 1.0 + IMBALANCE_WEIGHT * stats.row_cv
+        return BASE_EFFICIENCY / (short_rows * imbalance)
+
+    def time_s(self, coo: COOMatrix) -> float:
+        if coo.nnz == 0:
+            return self.launch_overhead_s
+        mem_time = self.bytes_streamed(coo) / (
+            self.bandwidth * self.efficiency(coo)
+        )
+        compute_time = self.flops(coo) / (self.peak_gflops * 1e9)
+        return max(mem_time, compute_time) + self.launch_overhead_s

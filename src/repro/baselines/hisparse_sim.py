@@ -1,0 +1,160 @@
+"""Event-level HiSparse simulator.
+
+First-principles counterpart of the analytic
+:class:`~repro.baselines.hisparse.HiSparseModel`, mirroring the
+HiSparse architecture (Du et al., FPGA 2022):
+
+* the dense vector is buffered on chip in a fixed window, so wide
+  matrices are processed in **column passes** (one window of x at a
+  time);
+* within a pass, non-zeros stream through 8 HBM channels, 8 records
+  per channel per cycle;
+* a shuffle unit routes each record to an output-buffer bank selected
+  by ``row % 8``; records of the same packet hitting the same bank
+  serialize — the *bank conflict* that makes row-clustered packets
+  slow.
+
+Simplifications: records are dealt to channels round-robin (HiSparse's
+packer is smarter), and memory time is a roofline term overlapped with
+compute.  As with the Serpens simulator, this is an optimistic bound
+used to validate the calibrated model's shape, not to replace it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.matrix.coo import COOMatrix
+
+#: HBM channels streaming the matrix.
+NUM_CHANNELS = 8
+#: Records per channel packet (one packet per cycle without conflicts).
+PACK_SIZE = 8
+#: Output-buffer banks per channel cluster.
+NUM_BANKS = 8
+#: On-chip dense-vector window (elements), as in the analytic model.
+VECTOR_WINDOW = 64 * 1024
+#: Cycles to refill the vector window between column passes.
+PASS_SWITCH_CYCLES = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class HiSparseRun:
+    """Result of one simulated HiSparse SpMV."""
+
+    y: np.ndarray
+    cycles: float
+    conflict_cycles: int
+    passes: int
+    time_s: float
+    gflops: float
+
+
+class HiSparseSimulator:
+    """Event-level simulator of the HiSparse accelerator.
+
+    Parameters
+    ----------
+    frequency_hz, bandwidth:
+        Platform clock and bandwidth (defaults: Table III).
+    vector_window:
+        On-chip x window in elements.
+    """
+
+    def __init__(self, frequency_hz: float = 237e6,
+                 bandwidth: float = 273e9,
+                 vector_window: int = VECTOR_WINDOW):
+        if vector_window <= 0:
+            raise ValueError("vector_window must be positive")
+        self.frequency_hz = frequency_hz
+        self.bandwidth = bandwidth
+        self.vector_window = vector_window
+
+    def _pass_cycles(self, rows: np.ndarray) -> tuple:
+        """(cycles, conflict cycles) to stream one channel's records.
+
+        Records are first packed the way HiSparse's preprocessing does:
+        interleaved round-robin across output banks, so packets only
+        conflict when the bank distribution itself is skewed (e.g.
+        dense rows concentrating on one bank).
+        """
+        if rows.size == 0:
+            return 0, 0
+        banks = rows % NUM_BANKS
+        # visit number of each record within its bank.
+        order_by_bank = np.lexsort((np.arange(rows.size), banks))
+        sorted_banks = banks[order_by_bank]
+        starts = np.concatenate(
+            ([True], sorted_banks[1:] != sorted_banks[:-1])
+        )
+        run_start = np.maximum.accumulate(
+            np.where(starts, np.arange(rows.size), 0)
+        )
+        visit_sorted = np.arange(rows.size) - run_start
+        visit = np.empty(rows.size, dtype=np.int64)
+        visit[order_by_bank] = visit_sorted
+        packed = banks[np.lexsort((banks, visit))]
+
+        n_packets = -(-rows.size // PACK_SIZE)
+        padded = np.full(n_packets * PACK_SIZE, -1, dtype=np.int64)
+        padded[: rows.size] = packed
+        packets = padded.reshape(n_packets, PACK_SIZE)
+        # Per packet, the worst bank multiplicity is its cycle cost.
+        cost = np.ones(n_packets, dtype=np.int64)
+        for bank in range(NUM_BANKS):
+            cost = np.maximum(cost, (packets == bank).sum(axis=1))
+        cycles = int(cost.sum())
+        return cycles, cycles - n_packets
+
+    def run(self, coo: COOMatrix, x: np.ndarray,
+            y: np.ndarray = None) -> HiSparseRun:
+        """Execute one SpMV: exact y plus event-derived cycles."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (coo.shape[1],):
+            raise ValueError(
+                f"x of shape {x.shape} incompatible with {coo.shape}"
+            )
+        y_out = coo.spmv(x, y)
+
+        passes = max(1, -(-coo.shape[1] // self.vector_window))
+        compute_cycles = 0
+        conflicts = 0
+        for p in range(passes):
+            lo = p * self.vector_window
+            hi = lo + self.vector_window
+            in_pass = (coo.cols >= lo) & (coo.cols < hi)
+            rows = coo.rows[in_pass]
+            # Each channel cluster owns a stripe of output rows (the
+            # HiSparse row partitioning), so records route by row.
+            stripe = max(-(-coo.shape[0] // NUM_CHANNELS), 1)
+            channel_of = np.minimum(rows // stripe, NUM_CHANNELS - 1)
+            pass_cycles = 0
+            for ch in range(NUM_CHANNELS):
+                cycles, conflict = self._pass_cycles(
+                    rows[channel_of == ch]
+                )
+                pass_cycles = max(pass_cycles, cycles)
+                conflicts += conflict
+            compute_cycles += pass_cycles + (
+                PASS_SWITCH_CYCLES if passes > 1 else 0
+            )
+
+        stream_bytes = (
+            coo.nnz * 8
+            + coo.shape[1] * 4 * passes
+            + coo.shape[0] * 8
+        )
+        memory_cycles = stream_bytes / self.bandwidth * self.frequency_hz
+        cycles = max(float(compute_cycles), memory_cycles)
+        time_s = cycles / self.frequency_hz if cycles else 0.0
+        flops = 2 * coo.nnz + coo.shape[0]
+        return HiSparseRun(
+            y=y_out,
+            cycles=cycles,
+            conflict_cycles=conflicts,
+            passes=passes,
+            time_s=time_s,
+            gflops=flops / time_s / 1e9 if time_s else 0.0,
+        )

@@ -1,0 +1,84 @@
+"""Serpens baseline models (Song et al., DAC 2022 — paper Table III).
+
+Serpens streams (value, packed-index) pairs — 8 bytes per non-zero —
+through 16 (``Serpens_a16``) or 24 (``Serpens_a24``) HBM channels, with
+the whole x vector replicated in on-chip URAM.  Its efficiency limiters
+are the floating-point accumulation RAW hazard (rows shorter than the
+adder pipeline leave bubbles) and load imbalance across its channel
+lanes; both are milder than HiSparse's, matching its higher measured
+throughput.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AcceleratorModel, matrix_stats
+from repro.matrix.coo import COOMatrix
+
+#: Calibration constants (see EXPERIMENTS.md).
+BASE_EFFICIENCY = 0.235
+#: Efficiency decays with channel count: distributing the A stream over
+#: more lanes worsens inter-lane imbalance (the paper's a24 is only
+#: ~1.14x faster than a16 despite 1.4x the bandwidth).
+CHANNEL_SCALING_EXP = 0.5
+IMBALANCE_WEIGHT = 0.35
+SHORT_ROW_WEIGHT = 4.0
+SCATTER_WEIGHT = 0.25
+
+
+class SerpensModel(AcceleratorModel):
+    """Analytic model of a Serpens configuration.
+
+    Parameters
+    ----------
+    num_a_channels:
+        HBM channels streaming the sparse matrix (16 or 24 in the paper).
+    frequency_hz, bandwidth, peak_gflops:
+        Published platform numbers (Table III).
+    """
+
+    def __init__(self, num_a_channels: int, frequency_hz: float,
+                 bandwidth: float, peak_gflops: float,
+                 launch_overhead_s: float = 0.0):
+        self.name = f"Serpens_a{num_a_channels}"
+        self.num_a_channels = num_a_channels
+        self.frequency_hz = frequency_hz
+        self.bandwidth = bandwidth
+        self.peak_gflops = peak_gflops
+        self.launch_overhead_s = launch_overhead_s
+
+    def bytes_streamed(self, coo: COOMatrix) -> float:
+        """A stream (8 B/nnz) + x broadcast + y write."""
+        stats = matrix_stats(coo)
+        return stats.nnz * 8 + stats.ncols * 4 + stats.nrows * 8
+
+    def efficiency(self, coo: COOMatrix) -> float:
+        """Fraction of peak bandwidth the matrix structure sustains."""
+        stats = matrix_stats(coo)
+        if stats.nnz == 0:
+            return 1.0
+        base = BASE_EFFICIENCY * (
+            (16.0 / self.num_a_channels) ** CHANNEL_SCALING_EXP
+        )
+        imbalance = 1.0 + IMBALANCE_WEIGHT * stats.row_cv
+        short_rows = 1.0 + SHORT_ROW_WEIGHT / max(stats.avg_row_len, 1.0)
+        scatter = 1.0 + SCATTER_WEIGHT * stats.col_span
+        return base / (imbalance * short_rows * scatter)
+
+    def time_s(self, coo: COOMatrix) -> float:
+        if coo.nnz == 0:
+            return self.launch_overhead_s
+        mem_time = self.bytes_streamed(coo) / (
+            self.bandwidth * self.efficiency(coo)
+        )
+        compute_time = self.flops(coo) / (self.peak_gflops * 1e9)
+        return max(mem_time, compute_time) + self.launch_overhead_s
+
+
+def SERPENS_A16(**kwargs) -> SerpensModel:
+    """The 16-A-channel Serpens build (Table III row 2)."""
+    return SerpensModel(16, 282e6, 288e9, 72.2, **kwargs)
+
+
+def SERPENS_A24(**kwargs) -> SerpensModel:
+    """The 24-A-channel Serpens build (Table III row 3)."""
+    return SerpensModel(24, 276e6, 403e9, 106.0, **kwargs)

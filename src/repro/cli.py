@@ -1,0 +1,323 @@
+"""Command-line interface.
+
+::
+
+    python -m repro suite                     # list the Table II workloads
+    python -m repro analyze tmt_sym           # pattern histogram + spy plot
+    python -m repro compile matrix.mtx        # full SPASM pipeline report
+    python -m repro storage c-73              # Figure 11 format comparison
+    python -m repro compare raefsky3          # throughput vs baselines
+
+A positional ``matrix`` argument is either a Table II workload name or
+a path to a Matrix Market ``.mtx`` file; ``--scale`` grows/shrinks the
+synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.frequency import top_pattern_report
+from repro.analysis.report import format_table
+from repro.analysis.spy import spy_with_border
+from repro.analysis.storage_compare import spasm_storage_bytes
+from repro.baselines import (
+    CuSparseRTX3090Model,
+    HiSparseModel,
+    SERPENS_A16,
+    SERPENS_A24,
+    SpasmModel,
+)
+from repro.core import SpasmCompiler, analyze_local_patterns
+from repro.matrix import read_matrix_market, storage_report
+from repro.matrix.coo import COOMatrix
+from repro.synth import WORKLOAD_SUITE, load_workload, workload_names
+
+
+def load_matrix(spec: str, scale: float) -> COOMatrix:
+    """Resolve a matrix argument: workload name or .mtx path."""
+    if spec.endswith(".mtx"):
+        return read_matrix_market(spec)
+    return load_workload(spec, scale=scale)
+
+
+def cmd_suite(args) -> int:
+    rows = [
+        [
+            s.name, s.domain, f"{s.paper_nnz:.2e}",
+            f"{s.paper_density:.2e}", s.pattern_kind,
+        ]
+        for s in WORKLOAD_SUITE
+    ]
+    print(format_table(
+        ["name", "domain", "paper nnz", "paper density", "pattern kind"],
+        rows,
+        title="Table II workload suite",
+    ))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    coo = load_matrix(args.matrix, args.scale)
+    print(f"{args.matrix}: shape={coo.shape}, nnz={coo.nnz}, "
+          f"density={coo.density:.3e}")
+    if not args.no_spy:
+        print(spy_with_border(coo))
+    histogram = analyze_local_patterns(coo, k=args.pattern_size)
+    print()
+    print(top_pattern_report(args.matrix, histogram, n=args.top))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    coo = load_matrix(args.matrix, args.scale)
+    program = SpasmCompiler().compile(coo)
+    breakdown = program.estimate()
+    print(f"matrix:        {args.matrix} shape={coo.shape} nnz={coo.nnz}")
+    print(f"portfolio:     {program.portfolio.name} "
+          f"({program.portfolio.description})")
+    print(f"tile size:     {program.tile_size}")
+    print(f"hardware:      {program.hw_config.describe()}")
+    print(f"groups:        {program.spasm.n_groups} "
+          f"(padding rate {program.spasm.padding_rate:.2%})")
+    print(f"storage:       {program.spasm.bytes_per_nnz():.2f} bytes/nnz")
+    print(f"est. cycles:   {breakdown.total_cycles:.0f} "
+          f"(bottleneck: {breakdown.bottleneck})")
+    print(f"est. speed:    {program.estimated_gflops():.2f} GFLOP/s")
+    print("preprocessing: "
+          f"analysis {program.report.analysis_ms:.1f} ms, "
+          f"selection {program.report.selection_ms:.1f} ms, "
+          f"decomposition {program.report.decomposition_ms:.1f} ms, "
+          f"schedule {program.report.schedule_ms:.1f} ms")
+    return 0
+
+
+def cmd_storage(args) -> int:
+    coo = load_matrix(args.matrix, args.scale)
+    spasm_bytes = spasm_storage_bytes(coo)
+    report = storage_report(coo, args.matrix, spasm_bytes=spasm_bytes)
+    rows = [
+        [fmt, report.bytes_by_format[fmt], report.improvement(fmt)]
+        for fmt in report.formats
+    ]
+    print(format_table(
+        ["format", "bytes", "improvement vs COO"],
+        rows,
+        title=f"Storage cost of {args.matrix}",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    coo = load_matrix(args.matrix, args.scale)
+    spasm = SpasmModel()
+    baselines = [
+        HiSparseModel(), SERPENS_A16(), SERPENS_A24(),
+        CuSparseRTX3090Model(),
+    ]
+    spasm_gflops = spasm.gflops(coo)
+    rows = [["SPASM", spasm_gflops, 1.0]]
+    for model in baselines:
+        gflops = model.gflops(coo)
+        rows.append([model.name, gflops, spasm_gflops / gflops])
+    print(format_table(
+        ["platform", "GFLOP/s", "SPASM speedup"],
+        rows,
+        title=f"Modeled SpMV throughput on {args.matrix}",
+    ))
+    return 0
+
+
+def cmd_encode(args) -> int:
+    """Compile a matrix and persist the SPASM encoding."""
+    from repro.core import save_spasm
+
+    coo = load_matrix(args.matrix, args.scale)
+    program = SpasmCompiler().compile(coo)
+    save_spasm(args.output, program.spasm)
+    print(f"encoded {args.matrix}: {program.portfolio.name}, "
+          f"tile={program.tile_size}, "
+          f"{program.spasm.storage_bytes()} bytes, "
+          f"padding {program.spasm.padding_rate:.1%}")
+    print(f"wrote {args.output} "
+          f"(recommended hardware: {program.hw_config.name})")
+    return 0
+
+
+def cmd_spmv(args) -> int:
+    """Run one SpMV from a persisted encoding."""
+    import numpy as np
+
+    from repro.core import load_spasm
+    from repro.hw import DEFAULT_CONFIGS, SpasmAccelerator
+
+    spasm = load_spasm(args.encoding)
+    rng = np.random.default_rng(args.seed)
+    x = rng.random(spasm.shape[1])
+    config = next(
+        c for c in DEFAULT_CONFIGS if c.name == args.hardware
+    )
+    result = SpasmAccelerator(config).run(spasm, x, engine="fast")
+    reference = spasm.spmv(x)
+    ok = np.allclose(result.y, reference)
+    print(f"{args.encoding}: shape={spasm.shape}, "
+          f"groups={spasm.n_groups}")
+    print(f"simulated on {config.name}: {result.cycles:.0f} cycles, "
+          f"{result.gflops:.2f} GFLOP/s, bottleneck {result.bottleneck}")
+    print(f"verification vs format semantics: "
+          f"{'exact' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def cmd_reproduce(args) -> int:
+    """Regenerate the headline evaluation tables in one pass."""
+    import pathlib
+
+    from repro.analysis.metrics import (
+        bandwidth_efficiency_table,
+        energy_table,
+        render_throughput,
+        throughput_table,
+    )
+    from repro.analysis.storage_compare import (
+        render_storage_comparison,
+        suite_storage_reports,
+    )
+    from repro.synth import load_suite
+
+    names = args.matrices.split(",") if args.matrices else None
+    matrices = [
+        (spec.name, coo)
+        for spec, coo in load_suite(scale=args.scale, names=names)
+    ]
+    spasm = SpasmModel()
+    baselines = [
+        HiSparseModel(), SERPENS_A16(), SERPENS_A24(),
+        CuSparseRTX3090Model(),
+    ]
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    sections = {}
+    sections["storage"] = render_storage_comparison(
+        suite_storage_reports(matrices)
+    )
+    throughput = throughput_table(matrices, spasm, baselines)
+    sections["throughput"] = render_throughput(
+        throughput, [m.name for m in baselines]
+    )
+    be = bandwidth_efficiency_table(matrices, spasm, baselines)
+    be_lines = ["Bandwidth efficiency (min / geomean / max):"]
+    for name, s in be["summary"].items():
+        be_lines.append(
+            f"  vs {name:<12s} {s['min']:.2f}x / {s['geomean']:.2f}x / "
+            f"{s['max']:.2f}x"
+        )
+    sections["bandwidth_efficiency"] = "\n".join(be_lines)
+    energy = energy_table(matrices, spasm, baselines)
+    sections["energy"] = format_table(
+        ["platform", "power (W)", "geomean GFLOP/s", "(GFLOP/s)/W"],
+        [
+            [r["name"], r["power_w"], r["gflops"], r["efficiency"]]
+            for r in energy
+        ],
+        title="Power and energy efficiency",
+    )
+
+    for name, text in sections.items():
+        (out_dir / f"{name}.txt").write_text(text + "\n",
+                                             encoding="utf-8")
+        print(text)
+        print()
+    print(f"wrote {len(sections)} reports to {out_dir}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPASM SpMV acceleration framework (HPCA 2025 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list the Table II workload suite")
+
+    def add_matrix_command(name, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "matrix",
+            help=f"workload name ({', '.join(workload_names()[:3])}, ...)"
+                 " or a .mtx file path",
+        )
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="synthetic workload scale factor")
+        return p
+
+    analyze = add_matrix_command("analyze", "local pattern analysis")
+    analyze.add_argument("--top", type=int, default=8,
+                         help="patterns to display")
+    analyze.add_argument("--pattern-size", type=int, default=4,
+                         help="local pattern size k")
+    analyze.add_argument("--no-spy", action="store_true",
+                         help="skip the spy plot")
+
+    add_matrix_command("compile", "run the full SPASM pipeline")
+    add_matrix_command("storage", "compare storage formats")
+    add_matrix_command("compare", "compare modeled platforms")
+
+    encode = add_matrix_command(
+        "encode", "compile and persist a SPASM encoding"
+    )
+    encode.add_argument("-o", "--output", default="matrix.spasm.npz",
+                        help="output .npz path")
+
+    spmv = sub.add_parser(
+        "spmv", help="run one simulated SpMV from a saved encoding"
+    )
+    spmv.add_argument("encoding", help="path to a .npz from 'encode'")
+    spmv.add_argument("--hardware", default="SPASM_4_1",
+                      choices=["SPASM_4_1", "SPASM_3_4", "SPASM_3_2"])
+    spmv.add_argument("--seed", type=int, default=0,
+                      help="seed for the random x vector")
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate the headline evaluation tables in one pass",
+    )
+    reproduce.add_argument("--out", default="reproduction",
+                           help="output directory for the reports")
+    reproduce.add_argument("--scale", type=float, default=1.0,
+                           help="synthetic workload scale factor")
+    reproduce.add_argument(
+        "--matrices", default=None,
+        help="comma-separated workload subset (default: all 20)",
+    )
+    return parser
+
+
+COMMANDS = {
+    "suite": cmd_suite,
+    "analyze": cmd_analyze,
+    "compile": cmd_compile,
+    "storage": cmd_storage,
+    "compare": cmd_compare,
+    "encode": cmd_encode,
+    "spmv": cmd_spmv,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except (KeyError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Greedy dynamic portfolio construction (extension).
+
+The paper notes that choosing the optimal 16 templates out of the 1820
+possible fixed-length patterns is NP-hard (Section V-C) and therefore
+selects among ten hand-crafted candidate portfolios (Table V).  This
+module implements the natural next step: build a *custom* portfolio per
+matrix with a greedy marginal-gain heuristic over the full template
+universe.
+
+Because all templates have fixed length ``k``, the padding of a pattern
+``p`` under portfolio ``S`` is ``k * u_S(p) - |p|`` with ``u_S(p)`` the
+minimum number of templates covering ``p``.  Greedy needs to see
+*partial* progress, so rounds are scored with the relaxed cost
+
+    u_S(p) = min over T subset of S of  |T| + |p \\ union(T)|
+
+(each still-uncovered cell will eventually need one template of its
+own).  The recurrence ``u'(p) = min(u(p), 1 + u(p & ~t))`` maintains
+this relaxation *exactly* over the whole 2^(k*k) pattern domain — one
+vectorized gather per pick — and a second gather scores every pool
+candidate per round.  The final portfolio is patched to full grid
+coverage and re-costed with the exact :class:`DecompositionTable`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.bitmask import DEFAULT_K, full_mask, popcount_array
+from repro.core.decompose import DecompositionTable
+from repro.core.patterns import PatternHistogram
+from repro.core.templates import (
+    MAX_TEMPLATES,
+    Portfolio,
+    Template,
+    row_templates,
+    template_universe,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GreedyBuildResult:
+    """Outcome of a greedy portfolio build.
+
+    Attributes
+    ----------
+    portfolio:
+        The constructed :class:`Portfolio`.
+    total_padding:
+        Frequency-weighted padding of the scored histogram under the
+        final portfolio.
+    gains:
+        Padding reduction achieved by each greedy round, in pick order.
+    """
+
+    portfolio: Portfolio
+    total_padding: int
+    gains: tuple
+
+
+class GreedyPortfolioBuilder:
+    """Builds a matrix-specific portfolio from the template universe.
+
+    Parameters
+    ----------
+    k:
+        Local pattern size.
+    n_templates:
+        Portfolio size budget (the 4-bit t_idx allows at most 16).
+    pool:
+        Candidate template masks; defaults to the full fixed-length
+        universe (1820 masks for k=4).
+    """
+
+    def __init__(self, k: int = DEFAULT_K, n_templates: int = MAX_TEMPLATES,
+                 pool=None):
+        if not 1 <= n_templates <= MAX_TEMPLATES:
+            raise ValueError(
+                f"n_templates must be in [1, {MAX_TEMPLATES}], "
+                f"got {n_templates}"
+            )
+        self.k = k
+        self.n_templates = n_templates
+        if pool is None:
+            pool = list(template_universe(k))
+        self.pool = np.array(sorted(set(int(m) for m in pool)),
+                             dtype=np.int64)
+        if self.pool.size == 0:
+            raise ValueError("empty candidate pool")
+
+    def build(self, histogram: PatternHistogram,
+              name: str = "dynamic-greedy") -> GreedyBuildResult:
+        """Greedily pick templates maximizing padding reduction.
+
+        The build always returns a *complete* portfolio (its union
+        covers the grid): after the gain-driven rounds, any uncovered
+        cells are patched with row templates so that arbitrary future
+        inputs remain decomposable.
+        """
+        if histogram.k != self.k:
+            raise ValueError(
+                f"histogram has k={histogram.k}, builder expects {self.k}"
+            )
+        k = self.k
+        patterns = histogram.patterns.astype(np.int64)
+        freqs = histogram.frequencies.astype(np.int64)
+
+        selected = []
+        gains = []
+        # Relaxed cost over the whole pattern domain, starting from the
+        # no-templates bound: every cell costs one template.
+        domain = np.arange(1 << (k * k), dtype=np.int64)
+        u = popcount_array(domain).astype(np.int64)
+        # Pattern-minus-candidate masks, shared across rounds:
+        # masked[i, j] = patterns[i] & ~pool[j].
+        masked = patterns[:, None] & ~self.pool[None, :]
+        available = np.ones(self.pool.size, dtype=bool)
+
+        for __ in range(self.n_templates):
+            current = u[patterns]
+            with_t = 1 + u[masked]  # (n_patterns, n_pool)
+            improved = np.minimum(current[:, None], with_t)
+            gain = ((current[:, None] - improved) * freqs[:, None]).sum(
+                axis=0
+            )
+            gain[~available] = -1
+            best = int(gain.argmax())
+            if gain[best] <= 0:
+                break
+            available[best] = False
+            t = int(self.pool[best])
+            selected.append(t)
+            gains.append(int(gain[best]) * k)  # padding units
+            u = np.minimum(u, 1 + u[domain & ~t])
+
+        selected = self._patch_coverage(selected)
+        templates = tuple(
+            Template(mask, f"G{i}", "CUSTOM")
+            for i, mask in enumerate(selected)
+        )
+        portfolio = Portfolio(
+            templates, k=k, name=name,
+            description="greedy build from the template universe",
+        )
+        total = DecompositionTable(portfolio).total_padding(histogram)
+        return GreedyBuildResult(
+            portfolio=portfolio,
+            total_padding=total,
+            gains=tuple(gains),
+        )
+
+    def _patch_coverage(self, selected) -> list:
+        """Ensure the selection covers the whole grid.
+
+        Uncovered cells are patched with row templates (dropping the
+        least recently picked greedy templates if the budget is full).
+        """
+        grid = full_mask(self.k)
+        union = 0
+        for mask in selected:
+            union |= mask
+        if union == grid and selected:
+            return selected
+        patches = [
+            t.mask
+            for t in row_templates(self.k)
+            if t.mask & ~union
+        ]
+        room = self.n_templates - len(selected)
+        if len(patches) > room:
+            selected = selected[: self.n_templates - len(patches)]
+        return selected + patches
+
+
+def select_portfolio_dynamic(histogram: PatternHistogram,
+                             candidates=None,
+                             builder: GreedyPortfolioBuilder = None
+                             ) -> Portfolio:
+    """Best of Algorithm 3's candidate selection and the greedy build.
+
+    The greedy heuristic occasionally loses to a hand-crafted Table V
+    portfolio (it commits template by template); taking the minimum of
+    both paths guarantees the dynamic choice is never worse than any
+    fixed candidate while still exploiting custom templates when they
+    help.
+    """
+    from repro.core.selection import select_portfolio
+
+    selection = select_portfolio(histogram, candidates=candidates)
+    candidate_padding = selection.table.total_padding(histogram)
+    if builder is None:
+        builder = GreedyPortfolioBuilder(k=histogram.k)
+    greedy = builder.build(histogram)
+    if greedy.total_padding < candidate_padding:
+        return greedy.portfolio
+    return selection.portfolio
+
+
+def greedy_storage_bytes(histogram: PatternHistogram,
+                         result: GreedyBuildResult,
+                         value_bytes: int = 4) -> int:
+    """SPASM storage cost implied by a greedy-built portfolio."""
+    nnz = int((popcount_array(histogram.patterns)
+               * histogram.frequencies).sum())
+    slots = nnz + result.total_padding
+    groups = slots // histogram.k
+    return groups * (histogram.k + 1) * value_bytes

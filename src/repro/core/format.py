@@ -1,0 +1,534 @@
+"""The SPASM sparse data format (paper Section III).
+
+A matrix is encoded at two levels:
+
+* **global**: the COO list of non-empty ``tile_size x tile_size`` tiles
+  (``tileRowIdx`` / ``tileColIdx``), streamed row-major so that an entire
+  tile row completes — and its partial sums flush — before the next row
+  starts;
+* **local**: within each tile, every non-empty k-by-k submatrix is
+  decomposed into template groups.  Each group carries ``k`` values (zero
+  padded) plus one 32-bit position word (see :mod:`repro.core.encoding`),
+  i.e. ``(pattern_size + 1) * 4`` bytes per group under the paper's
+  32-bit accounting.
+
+Overlap rule: when two templates of a decomposition cover the same
+pattern cell, the value is carried by the *first* template (t_idx order)
+and the later slots are zero padding, so decoding never double counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.bitmask import DEFAULT_K
+from repro.core.decompose import DecompositionTable
+from repro.core.encoding import (
+    pack_position_array,
+    unpack_position_array,
+)
+from repro.core.patterns import submatrix_masks
+from repro.core.templates import Portfolio
+from repro.core.tiling import GlobalComposition, validate_tile_size
+from repro.matrix.coo import COOMatrix
+
+
+class FormatError(ValueError):
+    """Raised by :meth:`SpasmMatrix.validate` on a broken encoding."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SpasmTile:
+    """View of one encoded tile.
+
+    Attributes
+    ----------
+    tile_row, tile_col:
+        Tile coordinates (``tileRowIdx`` / ``tileColIdx``).
+    words:
+        ``uint32`` position words of the tile's groups, in stream order.
+    values:
+        ``(n_groups, k)`` value payload, zero padded.
+    """
+
+    tile_row: int
+    tile_col: int
+    words: np.ndarray
+    values: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        """Number of template groups in the tile."""
+        return int(self.words.size)
+
+
+@dataclasses.dataclass
+class SpasmMatrix:
+    """A matrix encoded in the SPASM data format.
+
+    Attributes
+    ----------
+    shape:
+        Logical matrix shape.
+    k:
+        Local pattern size (values per template group).
+    tile_size:
+        Tile edge length in matrix elements.
+    portfolio:
+        The template portfolio the encoding used (t_idx order).
+    tile_rows, tile_cols:
+        Non-empty tile coordinates in stream order.
+    tile_ptr:
+        ``n_tiles + 1`` offsets into ``words``/``values`` per tile.
+    words:
+        All position words, concatenated in stream order.
+    values:
+        ``(n_groups, k)`` value payload, zero padded.
+    source_nnz:
+        Non-zero count of the source matrix (for padding accounting).
+    """
+
+    shape: tuple
+    k: int
+    tile_size: int
+    portfolio: Portfolio
+    tile_rows: np.ndarray
+    tile_cols: np.ndarray
+    tile_ptr: np.ndarray
+    words: np.ndarray
+    values: np.ndarray
+    source_nnz: int
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of non-empty tiles."""
+        return int(self.tile_rows.size)
+
+    @property
+    def n_groups(self) -> int:
+        """Total number of template groups."""
+        return int(self.words.size)
+
+    @property
+    def stored_values(self) -> int:
+        """Stored value slots, padding included."""
+        return self.n_groups * self.k
+
+    @property
+    def padding(self) -> int:
+        """Total zero paddings introduced by the encoding."""
+        return self.stored_values - self.source_nnz
+
+    @property
+    def padding_rate(self) -> float:
+        """Fraction of stored value slots that are padding."""
+        if self.stored_values == 0:
+            return 0.0
+        return self.padding / self.stored_values
+
+    def storage_bytes(self, value_bytes: int = 4,
+                      include_global: bool = False) -> int:
+        """Paper accounting: ``(k + 1) * 4`` bytes per group.
+
+        ``include_global`` adds the first-level tile COO (two 32-bit
+        indices per non-empty tile), which the paper's comparison ignores
+        as negligible.
+        """
+        local = self.n_groups * (self.k + 1) * value_bytes
+        if include_global:
+            local += self.n_tiles * 2 * 4
+        return local
+
+    def bytes_per_nnz(self) -> float:
+        """Average storage cost per source non-zero (Section V-B metric)."""
+        if self.source_nnz == 0:
+            return 0.0
+        return self.storage_bytes() / self.source_nnz
+
+    def validate(self) -> None:
+        """Check the structural invariants of the encoding.
+
+        Verifies array shapes, tile directory monotonicity, index
+        bounds against the tile size, CE/RE flag consistency with the
+        tile boundaries, and the padding arithmetic.  Raises
+        :class:`FormatError` on the first violation — the integrity
+        check to run after deserializing an encoding from untrusted
+        storage.
+        """
+        if self.tile_ptr.size != self.n_tiles + 1:
+            raise FormatError("tile_ptr length != n_tiles + 1")
+        if self.tile_ptr[0] != 0 or self.tile_ptr[-1] != self.n_groups:
+            raise FormatError("tile_ptr must span [0, n_groups]")
+        if np.any(np.diff(self.tile_ptr) < 0):
+            raise FormatError("tile_ptr must be monotone")
+        if self.values.shape != (self.n_groups, self.k):
+            raise FormatError(
+                f"values shape {self.values.shape} != "
+                f"({self.n_groups}, {self.k})"
+            )
+        if self.tile_rows.size != self.tile_cols.size:
+            raise FormatError("tile coordinate arrays disagree")
+        if self.n_groups == 0:
+            return
+        fields = unpack_position_array(self.words)
+        spt = self.tile_size // self.k
+        if fields["c_idx"].max() >= spt or fields["r_idx"].max() >= spt:
+            raise FormatError(
+                "submatrix index exceeds the tile size budget"
+            )
+        if fields["t_idx"].max() >= len(self.portfolio.masks):
+            raise FormatError("t_idx addresses beyond the portfolio")
+        boundaries = np.zeros(self.n_groups, dtype=bool)
+        boundaries[self.tile_ptr[1:] - 1] = True
+        if not np.array_equal(fields["ce"], boundaries):
+            raise FormatError("CE flags disagree with tile boundaries")
+        if np.any(fields["re"] & ~fields["ce"]):
+            raise FormatError("RE set on a non-tile-boundary group")
+        tile_of_group = np.repeat(
+            np.arange(self.n_tiles), self.groups_per_tile()
+        )
+        group_rows = self.tile_rows[tile_of_group]
+        expected_re = np.empty(self.n_groups, dtype=bool)
+        expected_re[:-1] = group_rows[1:] != group_rows[:-1]
+        expected_re[-1] = True
+        if not np.array_equal(fields["re"], expected_re):
+            raise FormatError(
+                "RE flags disagree with tile-row boundaries"
+            )
+        if int(np.count_nonzero(self.values)) > self.source_nnz:
+            raise FormatError(
+                "more stored non-zero values than source non-zeros"
+            )
+
+    def tiles(self):
+        """Iterate :class:`SpasmTile` views in stream order."""
+        for i in range(self.n_tiles):
+            lo, hi = self.tile_ptr[i], self.tile_ptr[i + 1]
+            yield SpasmTile(
+                tile_row=int(self.tile_rows[i]),
+                tile_col=int(self.tile_cols[i]),
+                words=self.words[lo:hi],
+                values=self.values[lo:hi],
+            )
+
+    def groups_per_tile(self) -> np.ndarray:
+        """Template group count per tile (stream order)."""
+        return np.diff(self.tile_ptr)
+
+    def global_composition(self) -> GlobalComposition:
+        """The tile-level view of this encoding."""
+        nnz = np.array(
+            [int(np.count_nonzero(t.values)) for t in self.tiles()],
+            dtype=np.int64,
+        )
+        return GlobalComposition(
+            shape=self.shape,
+            k=self.k,
+            tile_size=self.tile_size,
+            tile_rows=self.tile_rows.copy(),
+            tile_cols=self.tile_cols.copy(),
+            groups_per_tile=self.groups_per_tile().astype(np.int64),
+            nnz_per_tile=nnz,
+        )
+
+    def _expand(self) -> tuple:
+        """Expand every stored slot to (row, col, value) coordinates."""
+        fields = unpack_position_array(self.words)
+        tile_of_group = np.repeat(
+            np.arange(self.n_tiles), self.groups_per_tile()
+        )
+        row_base = (
+            self.tile_rows[tile_of_group] * self.tile_size
+            + fields["r_idx"] * self.k
+        )
+        col_base = (
+            self.tile_cols[tile_of_group] * self.tile_size
+            + fields["c_idx"] * self.k
+        )
+        cell_r, cell_c = _template_cell_arrays(self.portfolio, self.k)
+        t_idx = fields["t_idx"]
+        rows = row_base[:, None] + cell_r[t_idx]
+        cols = col_base[:, None] + cell_c[t_idx]
+        return rows.ravel(), cols.ravel(), self.values.ravel()
+
+    def to_coo(self) -> COOMatrix:
+        """Decode back to COO (padding slots drop out as zeros)."""
+        rows, cols, vals = self._expand()
+        keep = vals != 0.0
+        return COOMatrix(rows[keep], cols[keep], vals[keep], self.shape)
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        """Software reference execution of the format: ``y = A @ x + y``.
+
+        This mirrors what the VALU datapath computes (padding slots
+        multiply by zero and vanish); the hardware functional simulator
+        in :mod:`repro.hw` must agree with it exactly.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"x of shape {x.shape} incompatible with {self.shape}"
+            )
+        if y is None:
+            y = np.zeros(self.shape[0], dtype=np.float64)
+        else:
+            y = np.array(y, dtype=np.float64)
+        # Template cells may fall past the matrix edge (they only ever
+        # carry zero padding there); compute on tile-aligned buffers and
+        # crop, exactly as the hardware's edge tiles do.
+        rows, cols, vals = self._expand()
+        n_tile_rows = -(-self.shape[0] // self.tile_size)
+        n_tile_cols = -(-self.shape[1] // self.tile_size)
+        x_pad = np.zeros(n_tile_cols * self.tile_size, dtype=np.float64)
+        x_pad[: x.size] = x
+        y_pad = np.zeros(n_tile_rows * self.tile_size, dtype=np.float64)
+        y_pad[: y.size] = y
+        np.add.at(y_pad, rows, vals * x_pad[cols])
+        return y_pad[: y.size]
+
+    def spmm(self, x_block: np.ndarray,
+             y_block: np.ndarray = None) -> np.ndarray:
+        """Multi-vector execution: ``Y = A @ X + Y`` (extension).
+
+        ``x_block`` is ``(ncols, n_vectors)``.  The sparse matrix is
+        streamed once while each template group issues one VALU
+        operation per vector — the A-stream amortization that
+        :func:`repro.hw.perf_model.perf_breakdown_spmm` models.
+        """
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim != 2 or x_block.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"X of shape {x_block.shape} incompatible with "
+                f"{self.shape}"
+            )
+        n_vectors = x_block.shape[1]
+        if y_block is None:
+            y_block = np.zeros(
+                (self.shape[0], n_vectors), dtype=np.float64
+            )
+        else:
+            y_block = np.array(y_block, dtype=np.float64)
+            if y_block.shape != (self.shape[0], n_vectors):
+                raise ValueError(
+                    f"Y of shape {y_block.shape} incompatible with "
+                    f"{(self.shape[0], n_vectors)}"
+                )
+        rows, cols, vals = self._expand()
+        n_tile_rows = -(-self.shape[0] // self.tile_size)
+        n_tile_cols = -(-self.shape[1] // self.tile_size)
+        x_pad = np.zeros(
+            (n_tile_cols * self.tile_size, n_vectors), dtype=np.float64
+        )
+        x_pad[: self.shape[1]] = x_block
+        y_pad = np.zeros(
+            (n_tile_rows * self.tile_size, n_vectors), dtype=np.float64
+        )
+        y_pad[: self.shape[0]] = y_block
+        np.add.at(y_pad, rows, vals[:, None] * x_pad[cols])
+        return y_pad[: self.shape[0]]
+
+
+def _template_cell_arrays(portfolio: Portfolio, k: int) -> tuple:
+    """(n_templates, k) arrays of the row/col offset of each lane."""
+    n = len(portfolio.masks)
+    cell_r = np.zeros((n, k), dtype=np.int64)
+    cell_c = np.zeros((n, k), dtype=np.int64)
+    for t_idx, mask in enumerate(portfolio.masks):
+        lane = 0
+        for bit in range(k * k):
+            if mask >> bit & 1:
+                cell_r[t_idx, lane] = bit // k
+                cell_c[t_idx, lane] = bit % k
+                lane += 1
+    return cell_r, cell_c
+
+
+def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
+                 table: DecompositionTable = None) -> SpasmMatrix:
+    """Encode a COO matrix into the SPASM data format (steps ③ + ④).
+
+    Parameters
+    ----------
+    coo:
+        Source matrix (deduplicated COO).
+    portfolio:
+        Template portfolio; t_idx order is the tuple order.
+    tile_size:
+        Tile edge length in elements (multiple of ``portfolio.k``).
+    table:
+        Optional pre-built :class:`DecompositionTable` for the portfolio
+        (rebuilt when omitted).
+    """
+    k = portfolio.k
+    tile_size = validate_tile_size(tile_size, k)
+    if table is None:
+        table = DecompositionTable(portfolio)
+    spt = tile_size // k
+    nsubcols = -(-max(coo.shape[1], 1) // k)
+    n_tile_cols = -(-max(coo.shape[1], 1) // tile_size)
+
+    if coo.nnz == 0:
+        return SpasmMatrix(
+            shape=coo.shape,
+            k=k,
+            tile_size=tile_size,
+            portfolio=portfolio,
+            tile_rows=np.zeros(0, dtype=np.int64),
+            tile_cols=np.zeros(0, dtype=np.int64),
+            tile_ptr=np.zeros(1, dtype=np.int64),
+            words=np.zeros(0, dtype=np.uint32),
+            values=np.zeros((0, k), dtype=np.float64),
+            source_nnz=0,
+        )
+
+    # --- submatrix grouping (stream order: tile row-major, then submatrix
+    # row-major within the tile) ------------------------------------------
+    sub_r = coo.rows // k
+    sub_c = coo.cols // k
+    bit = (coo.rows % k) * k + (coo.cols % k)
+    tile_r = sub_r // spt
+    tile_c = sub_c // spt
+    r_idx = sub_r % spt
+    c_idx = sub_c % spt
+    stream_key = (
+        ((tile_r * n_tile_cols + tile_c) * spt + r_idx) * spt + c_idx
+    )
+    order = np.argsort(stream_key, kind="stable")
+    keys_sorted = stream_key[order]
+    unique_keys, sub_of_entry = np.unique(keys_sorted, return_inverse=True)
+    n_sub = unique_keys.size
+
+    # Dense k*k value view of every non-empty submatrix.
+    dense_vals = np.zeros((n_sub, k * k), dtype=np.float64)
+    dense_vals[sub_of_entry, bit[order]] = coo.vals[order]
+
+    # Occupancy masks per submatrix (reuse the entry ordering).
+    bits_sorted = np.int64(1) << bit[order].astype(np.int64)
+    __, starts = np.unique(keys_sorted, return_index=True)
+    masks = np.bitwise_or.reduceat(bits_sorted, starts).astype(np.int64)
+
+    # Submatrix coordinates recovered from the stream key.
+    sub_cidx = unique_keys % spt
+    rest = unique_keys // spt
+    sub_ridx = rest % spt
+    rest = rest // spt
+    sub_tile_c = rest % n_tile_cols
+    sub_tile_r = rest // n_tile_cols
+
+    # --- decomposition (step 3) ------------------------------------------
+    subsets = table.subset_array(masks)
+
+    # Expand each submatrix into its template instances.  Precompute the
+    # t_idx list and first-cover ownership mask per *distinct* subset.
+    unique_subsets = np.unique(subsets)
+    tmpl_masks = portfolio.masks
+    tid_lists, owned_lists = [], []
+    for subset in unique_subsets:
+        tids, owned = [], []
+        covered = 0
+        s = int(subset)
+        for t_idx_val in range(len(tmpl_masks)):
+            if s >> t_idx_val & 1:
+                tids.append(t_idx_val)
+                owned.append(tmpl_masks[t_idx_val] & ~covered)
+                covered |= tmpl_masks[t_idx_val]
+        tid_lists.append(np.array(tids, dtype=np.int64))
+        owned_lists.append(np.array(owned, dtype=np.int64))
+    tid_counts = np.array([len(t) for t in tid_lists], dtype=np.int64)
+    tid_offsets = np.concatenate(([0], np.cumsum(tid_counts)))
+    tid_flat = (
+        np.concatenate(tid_lists)
+        if tid_lists
+        else np.zeros(0, dtype=np.int64)
+    )
+    owned_flat = (
+        np.concatenate(owned_lists)
+        if owned_lists
+        else np.zeros(0, dtype=np.int64)
+    )
+
+    loc = np.searchsorted(unique_subsets, subsets)
+    counts_per_sub = tid_counts[loc]
+    n_groups = int(counts_per_sub.sum())
+    group_sub = np.repeat(np.arange(n_sub), counts_per_sub)
+    base = np.repeat(tid_offsets[loc], counts_per_sub)
+    pos_in_sub = np.arange(n_groups) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts_per_sub)))[:-1],
+        counts_per_sub,
+    )
+    flat_idx = base + pos_in_sub
+    group_tid = tid_flat[flat_idx]
+    group_owned = owned_flat[flat_idx]
+
+    # --- value payload -----------------------------------------------------
+    cell_r, cell_c = _template_cell_arrays(portfolio, k)
+    cell_bit = cell_r * k + cell_c  # (n_templates, k)
+    lane_bits = cell_bit[group_tid]  # (n_groups, k)
+    lane_owned = (group_owned[:, None] >> lane_bits & 1).astype(bool)
+    values = dense_vals[group_sub[:, None], lane_bits] * lane_owned
+
+    # --- position words ------------------------------------------------------
+    group_tile_key = (
+        sub_tile_r[group_sub] * n_tile_cols + sub_tile_c[group_sub]
+    )
+    # Groups are in stream order, so tile boundaries are where the key
+    # changes; CE marks the last group of each tile (x-buffer switch) and
+    # RE the last group of each tile row (partial-sum flush).
+    is_tile_last = np.empty(n_groups, dtype=bool)
+    is_tile_last[:-1] = group_tile_key[1:] != group_tile_key[:-1]
+    is_tile_last[-1] = True
+    group_tile_r = sub_tile_r[group_sub]
+    is_row_last = np.empty(n_groups, dtype=bool)
+    is_row_last[:-1] = group_tile_r[1:] != group_tile_r[:-1]
+    is_row_last[-1] = True
+
+    words = pack_position_array(
+        c_idx=sub_cidx[group_sub],
+        r_idx=sub_ridx[group_sub],
+        ce=is_tile_last,
+        re=is_row_last,
+        t_idx=group_tid,
+    )
+
+    # --- tile directory ------------------------------------------------------
+    unique_tiles, tile_starts = np.unique(group_tile_key, return_index=True)
+    # group_tile_key is non-decreasing in stream order, so unique (sorted)
+    # preserves the stream order of tiles.
+    tile_ptr = np.concatenate((tile_starts, [n_groups])).astype(np.int64)
+
+    return SpasmMatrix(
+        shape=coo.shape,
+        k=k,
+        tile_size=tile_size,
+        portfolio=portfolio,
+        tile_rows=(unique_tiles // n_tile_cols).astype(np.int64),
+        tile_cols=(unique_tiles % n_tile_cols).astype(np.int64),
+        tile_ptr=tile_ptr,
+        words=words,
+        values=values.astype(np.float64),
+        source_nnz=coo.nnz,
+    )
+
+
+def groups_per_submatrix(coo: COOMatrix, table: DecompositionTable,
+                         k: int = DEFAULT_K) -> tuple:
+    """Template-group count of every non-empty submatrix.
+
+    Returns ``(counts, sub_keys)`` for
+    :func:`repro.core.tiling.extract_global_composition`; this is the
+    tile-size-independent part of the encoding that Algorithm 4 reuses
+    across its tile-size sweep.
+    """
+    masks, sub_keys = submatrix_masks(coo, k)
+    subsets = table.subset_array(masks)
+    counts = _subset_sizes(subsets, len(table.masks))
+    return counts, sub_keys
+
+
+def _subset_sizes(subsets: np.ndarray, n_templates: int) -> np.ndarray:
+    """Popcount of subset bitmasks (n_templates <= 16)."""
+    from repro.core.bitmask import popcount_array
+
+    return popcount_array(np.asarray(subsets, dtype=np.int64))

@@ -1,0 +1,279 @@
+"""The end-to-end SPASM framework (paper Figure 6).
+
+:class:`SpasmCompiler` chains the preprocessing pipeline —
+① local pattern analysis, ② template pattern selection, ③ local pattern
+decomposition, ④ global composition analysis and ⑤ workload schedule
+exploration — into a :class:`SpasmProgram` ready for hardware execution
+(step ⑥, :mod:`repro.hw`), and times every stage the way Table VIII
+reports them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.decompose import DecompositionTable
+from repro.core.format import (
+    SpasmMatrix,
+    encode_spasm,
+    groups_per_submatrix,
+)
+from repro.core.patterns import PatternHistogram, analyze_local_patterns
+from repro.core.schedule import (
+    DEFAULT_TILE_SIZES,
+    ScheduleResult,
+    explore_schedule,
+)
+from repro.core.selection import SelectionResult, select_portfolio
+from repro.core.templates import Portfolio, candidate_portfolios
+from repro.core.tiling import extract_global_composition
+from repro.matrix.coo import COOMatrix
+
+
+@dataclasses.dataclass(frozen=True)
+class PreprocessReport:
+    """Per-stage preprocessing wall time, Table VIII style.
+
+    Attributes map to the paper's circled stages (milliseconds):
+    ``analysis_ms`` ①, ``selection_ms`` ②, ``decomposition_ms`` ③,
+    ``schedule_ms`` ④⑤ (the paper reports the two jointly).
+    """
+
+    analysis_ms: float
+    selection_ms: float
+    decomposition_ms: float
+    schedule_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Total preprocessing time."""
+        return (
+            self.analysis_ms
+            + self.selection_ms
+            + self.decomposition_ms
+            + self.schedule_ms
+        )
+
+    def row(self, name: str) -> str:
+        """One formatted Table VIII row."""
+        return (
+            f"{name:<14s} {self.analysis_ms:9.1f} {self.selection_ms:9.1f} "
+            f"{self.decomposition_ms:9.1f} {self.schedule_ms:9.1f}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SpasmProgram:
+    """A fully compiled SPASM workload.
+
+    Attributes
+    ----------
+    spasm:
+        The matrix encoded at the selected tile size and portfolio.
+    hw_config:
+        The selected hardware version.
+    histogram:
+        Step ① output.
+    selection:
+        Step ② output (``None`` when a fixed portfolio was forced).
+    schedule:
+        Step ⑤ output (``None`` when tile size and config were forced).
+    report:
+        Stage timing report.
+    """
+
+    spasm: SpasmMatrix
+    hw_config: object
+    histogram: PatternHistogram
+    selection: SelectionResult
+    schedule: ScheduleResult
+    report: PreprocessReport
+
+    @property
+    def portfolio(self) -> Portfolio:
+        """The portfolio the encoding used."""
+        return self.spasm.portfolio
+
+    @property
+    def tile_size(self) -> int:
+        """The selected tile size."""
+        return self.spasm.tile_size
+
+    def estimate(self):
+        """Perf-model estimate for the compiled configuration.
+
+        Returns the :class:`repro.hw.perf_model.PerfBreakdown`.
+        """
+        from repro.hw.perf_model import perf_breakdown
+
+        return perf_breakdown(
+            self.spasm.global_composition(), self.hw_config, self.tile_size
+        )
+
+    def estimated_gflops(self) -> float:
+        """Paper throughput metric under the perf model."""
+        cycles = self.estimate().total_cycles
+        time_s = cycles / self.hw_config.frequency_hz
+        flops = 2 * self.spasm.source_nnz + self.spasm.shape[0]
+        return flops / time_s / 1e9 if time_s else 0.0
+
+
+class SpasmCompiler:
+    """Drives the full preprocessing workflow of Figure 6.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate portfolios for step ② (default: the Table V ten).
+    hw_configs:
+        Hardware versions for step ⑤ (default: Table IV's three).
+    tile_sizes:
+        Tile size sweep for step ⑤.
+    k:
+        Local pattern size.
+    selection_coverage:
+        Step ② scores only the smallest top-n pattern subset reaching
+        this frequency mass (the paper's preprocessing shortcut).
+    perf_model:
+        Override for the Algorithm 4 cost callable (testing hook).
+    portfolio_strategy:
+        ``"candidates"`` (paper Algorithm 3, default), ``"greedy"``
+        (custom build from the template universe,
+        :mod:`repro.core.dynamic`) or ``"combined"`` (best of both).
+    hazard_aware:
+        Reorder each tile's group stream to space out partial-sum
+        reuse (:func:`repro.hw.hazards.hazard_aware_reorder`).
+    """
+
+    PORTFOLIO_STRATEGIES = ("candidates", "greedy", "combined")
+
+    def __init__(self, candidates=None, hw_configs=None,
+                 tile_sizes=DEFAULT_TILE_SIZES, k: int = 4,
+                 selection_coverage: float = 0.95, perf_model=None,
+                 portfolio_strategy: str = "candidates",
+                 hazard_aware: bool = False):
+        self.k = k
+        if portfolio_strategy not in self.PORTFOLIO_STRATEGIES:
+            raise ValueError(
+                f"unknown portfolio strategy {portfolio_strategy!r}; "
+                f"choose from {self.PORTFOLIO_STRATEGIES}"
+            )
+        self.portfolio_strategy = portfolio_strategy
+        self.hazard_aware = hazard_aware
+        self.candidates = (
+            list(candidates) if candidates is not None
+            else candidate_portfolios(k)
+        )
+        if hw_configs is None:
+            from repro.hw.configs import DEFAULT_CONFIGS
+
+            hw_configs = DEFAULT_CONFIGS
+        self.hw_configs = list(hw_configs)
+        self.tile_sizes = tuple(tile_sizes)
+        self.selection_coverage = selection_coverage
+        if perf_model is None:
+            from repro.hw.perf_model import perf_model as default_model
+
+            perf_model = default_model
+        self.perf_model = perf_model
+
+    def compile(self, coo: COOMatrix, fixed_portfolio: Portfolio = None,
+                fixed_tile_size: int = None,
+                fixed_hw_config=None) -> SpasmProgram:
+        """Run steps ①-⑤ and encode the matrix.
+
+        The ``fixed_*`` arguments disable individual optimization stages
+        for the Figure 14 ablation: a fixed portfolio skips step ②, and a
+        fixed tile size plus hardware config skips step ⑤.
+        """
+        if not isinstance(coo, COOMatrix):
+            raise TypeError("SpasmCompiler.compile expects a COOMatrix")
+
+        # Step 1: local pattern analysis.
+        t0 = time.perf_counter()
+        histogram = analyze_local_patterns(coo, self.k)
+        t1 = time.perf_counter()
+
+        # Step 2: template pattern selection.
+        selection = None
+        if fixed_portfolio is not None:
+            portfolio = fixed_portfolio
+            table = DecompositionTable(portfolio)
+        elif self.portfolio_strategy == "candidates":
+            selection = select_portfolio(
+                histogram,
+                candidates=self.candidates,
+                coverage=self.selection_coverage,
+            )
+            portfolio = selection.portfolio
+            table = selection.table
+        else:
+            from repro.core.dynamic import (
+                GreedyPortfolioBuilder,
+                select_portfolio_dynamic,
+            )
+
+            if self.portfolio_strategy == "greedy":
+                portfolio = GreedyPortfolioBuilder(k=self.k).build(
+                    histogram
+                ).portfolio
+            else:  # combined
+                portfolio = select_portfolio_dynamic(
+                    histogram, candidates=self.candidates
+                )
+            table = DecompositionTable(portfolio)
+        t2 = time.perf_counter()
+
+        # Step 3: decompose all occurring patterns (tile-size independent).
+        counts, sub_keys = groups_per_submatrix(coo, table, self.k)
+        t3 = time.perf_counter()
+
+        # Steps 4+5: global composition analysis x schedule exploration.
+        schedule = None
+        if fixed_tile_size is not None and fixed_hw_config is not None:
+            tile_size = fixed_tile_size
+            hw_config = fixed_hw_config
+        else:
+            def composition_factory(tile_size):
+                return extract_global_composition(
+                    coo, counts, sub_keys, tile_size, self.k
+                )
+
+            hw_sweep = (
+                [fixed_hw_config]
+                if fixed_hw_config is not None
+                else self.hw_configs
+            )
+            tile_sweep = (
+                (fixed_tile_size,)
+                if fixed_tile_size is not None
+                else self.tile_sizes
+            )
+            schedule = explore_schedule(
+                composition_factory, hw_sweep, self.perf_model, tile_sweep
+            )
+            tile_size = schedule.best_tile_size
+            hw_config = schedule.best_hw_config
+        t4 = time.perf_counter()
+
+        spasm = encode_spasm(coo, portfolio, tile_size, table)
+        if self.hazard_aware:
+            from repro.hw.hazards import hazard_aware_reorder
+
+            spasm = hazard_aware_reorder(spasm)
+
+        report = PreprocessReport(
+            analysis_ms=(t1 - t0) * 1e3,
+            selection_ms=(t2 - t1) * 1e3,
+            decomposition_ms=(t3 - t2) * 1e3,
+            schedule_ms=(t4 - t3) * 1e3,
+        )
+        return SpasmProgram(
+            spasm=spasm,
+            hw_config=hw_config,
+            histogram=histogram,
+            selection=selection,
+            schedule=schedule,
+            report=report,
+        )

@@ -1,0 +1,89 @@
+"""Persistence for SPASM-encoded matrices.
+
+The paper's amortization argument assumes the preprocessing output is
+kept and reused across runs; this module makes that concrete by
+round-tripping a :class:`SpasmMatrix` (tile directory, position words,
+value payload and the portfolio that defines its t_idx space) through a
+single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.format import SpasmMatrix
+from repro.core.templates import Portfolio, Template
+
+#: Format marker/version written into every file.
+MAGIC = "spasm-npz-v1"
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or incompatible files."""
+
+
+def save_spasm(path, spasm: SpasmMatrix) -> None:
+    """Write a SPASM-encoded matrix to ``path`` (.npz)."""
+    portfolio = spasm.portfolio
+    np.savez_compressed(
+        path,
+        magic=np.array(MAGIC),
+        shape=np.array(spasm.shape, dtype=np.int64),
+        k=np.array(spasm.k, dtype=np.int64),
+        tile_size=np.array(spasm.tile_size, dtype=np.int64),
+        source_nnz=np.array(spasm.source_nnz, dtype=np.int64),
+        tile_rows=spasm.tile_rows,
+        tile_cols=spasm.tile_cols,
+        tile_ptr=spasm.tile_ptr,
+        words=spasm.words,
+        values=spasm.values,
+        portfolio_masks=np.array(portfolio.masks, dtype=np.int64),
+        portfolio_names=np.array(
+            [t.name for t in portfolio.templates]
+        ),
+        portfolio_kinds=np.array(
+            [t.kind for t in portfolio.templates]
+        ),
+        portfolio_name=np.array(portfolio.name),
+        portfolio_description=np.array(portfolio.description),
+    )
+
+
+def load_spasm(path) -> SpasmMatrix:
+    """Read a SPASM-encoded matrix written by :func:`save_spasm`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            magic = str(data["magic"])
+        except KeyError:
+            raise SerializationError(f"{path}: not a SPASM file") from None
+        if magic != MAGIC:
+            raise SerializationError(
+                f"{path}: unsupported format marker {magic!r}"
+            )
+        k = int(data["k"])
+        templates = tuple(
+            Template(int(mask), str(name), str(kind))
+            for mask, name, kind in zip(
+                data["portfolio_masks"],
+                data["portfolio_names"],
+                data["portfolio_kinds"],
+            )
+        )
+        portfolio = Portfolio(
+            templates,
+            k=k,
+            name=str(data["portfolio_name"]),
+            description=str(data["portfolio_description"]),
+        )
+        return SpasmMatrix(
+            shape=tuple(int(v) for v in data["shape"]),
+            k=k,
+            tile_size=int(data["tile_size"]),
+            portfolio=portfolio,
+            tile_rows=data["tile_rows"].copy(),
+            tile_cols=data["tile_cols"].copy(),
+            tile_ptr=data["tile_ptr"].copy(),
+            words=data["words"].copy(),
+            values=data["values"].copy(),
+            source_nnz=int(data["source_nnz"]),
+        )

@@ -1,0 +1,193 @@
+"""Step ④ — global composition analysis (paper Sections III and IV-C).
+
+The second tiling level groups k-by-k submatrices into square tiles of
+``tile_size`` matrix elements.  The *global composition* is the COO list
+of non-empty tiles together with their workload (template groups and
+non-zeros), which is what the workload scheduler and the performance
+model consume: the distribution of groups across tiles determines PE load
+balance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.bitmask import DEFAULT_K
+from repro.core.encoding import MAX_TILE_SIZE
+from repro.matrix.coo import COOMatrix
+
+
+class TilingError(ValueError):
+    """Raised for invalid tile size choices."""
+
+
+def validate_tile_size(tile_size: int, k: int = DEFAULT_K) -> int:
+    """Check a tile size against the format constraints."""
+    tile_size = int(tile_size)
+    if tile_size < k or tile_size % k:
+        raise TilingError(
+            f"tile size must be a positive multiple of k={k}, "
+            f"got {tile_size}"
+        )
+    if tile_size > MAX_TILE_SIZE:
+        raise TilingError(
+            f"tile size {tile_size} exceeds the 13-bit submatrix index "
+            f"budget (max {MAX_TILE_SIZE})"
+        )
+    return tile_size
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalComposition:
+    """COO-of-tiles view of a matrix at a given tile size.
+
+    Tiles are listed in stream (row-major) order: ``tile_rows`` changes
+    slowest, matching the accelerator's partial-sum-friendly traversal.
+
+    Attributes
+    ----------
+    shape:
+        Logical matrix shape.
+    k:
+        Local pattern size.
+    tile_size:
+        Tile edge length in matrix elements.
+    tile_rows, tile_cols:
+        Coordinates of each non-empty tile.
+    groups_per_tile:
+        Number of template groups (VALU operations) in each tile.
+    nnz_per_tile:
+        Number of matrix non-zeros in each tile.
+    """
+
+    shape: tuple
+    k: int
+    tile_size: int
+    tile_rows: np.ndarray
+    tile_cols: np.ndarray
+    groups_per_tile: np.ndarray
+    nnz_per_tile: np.ndarray
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of non-empty tiles."""
+        return int(self.tile_rows.size)
+
+    @property
+    def n_tile_rows(self) -> int:
+        """Number of tile rows spanned by the matrix."""
+        return -(-self.shape[0] // self.tile_size)
+
+    @property
+    def n_tile_cols(self) -> int:
+        """Number of tile columns spanned by the matrix."""
+        return -(-self.shape[1] // self.tile_size)
+
+    @property
+    def total_groups(self) -> int:
+        """Total template groups across all tiles."""
+        return int(self.groups_per_tile.sum())
+
+    @property
+    def total_nnz(self) -> int:
+        """Total non-zeros across all tiles."""
+        return int(self.nnz_per_tile.sum())
+
+    def occupancy(self) -> float:
+        """Fraction of tiles of the full grid that are non-empty."""
+        grid = self.n_tile_rows * self.n_tile_cols
+        return self.n_tiles / grid if grid else 0.0
+
+    def tiles_in_row(self) -> np.ndarray:
+        """Number of non-empty tiles per tile row (length n_tile_rows)."""
+        return np.bincount(self.tile_rows, minlength=self.n_tile_rows)
+
+    def groups_in_row(self) -> np.ndarray:
+        """Template groups per tile row — the per-row workload profile."""
+        return np.bincount(
+            self.tile_rows,
+            weights=self.groups_per_tile,
+            minlength=self.n_tile_rows,
+        ).astype(np.int64)
+
+    def imbalance(self, n_parallel: int) -> float:
+        """Load imbalance of a round-robin tile-row partition.
+
+        Ratio of the most loaded of ``n_parallel`` workers to the mean
+        load (1.0 = perfectly balanced); the metric the workload schedule
+        exploration tries to minimize.
+        """
+        loads = partition_loads(self.groups_in_row(), n_parallel)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean else 1.0
+
+
+def partition_loads(row_loads: np.ndarray, n_parallel: int) -> np.ndarray:
+    """Total load per worker of a round-robin tile-row assignment."""
+    if n_parallel <= 0:
+        raise ValueError("n_parallel must be positive")
+    loads = np.zeros(n_parallel, dtype=np.int64)
+    idx = np.arange(row_loads.size) % n_parallel
+    np.add.at(loads, idx, row_loads.astype(np.int64))
+    return loads
+
+
+def extract_global_composition(coo: COOMatrix, groups_per_submatrix,
+                               sub_keys, tile_size: int,
+                               k: int = DEFAULT_K) -> GlobalComposition:
+    """Aggregate submatrix-level workload into tiles.
+
+    Decomposition (step ③) is independent of the tile size — a submatrix's
+    template count never changes — so Algorithm 4's inner loop only needs
+    this cheap re-aggregation when it revisits step ④ for a new tile size.
+
+    Parameters
+    ----------
+    coo:
+        The source matrix (for nnz accounting).
+    groups_per_submatrix:
+        Template-group count of each non-empty submatrix.
+    sub_keys:
+        Row-major submatrix keys parallel to ``groups_per_submatrix``
+        (from :func:`repro.core.patterns.submatrix_masks`).
+    tile_size:
+        Tile edge length in elements.
+    k:
+        Local pattern size.
+    """
+    tile_size = validate_tile_size(tile_size, k)
+    spt = tile_size // k  # submatrices per tile edge
+    nsubcols = -(-coo.shape[1] // k)
+    n_tile_cols = -(-coo.shape[1] // tile_size)
+
+    sub_keys = np.asarray(sub_keys, dtype=np.int64)
+    groups = np.asarray(groups_per_submatrix, dtype=np.int64)
+    sub_r = sub_keys // nsubcols
+    sub_c = sub_keys % nsubcols
+    tile_keys = (sub_r // spt) * n_tile_cols + (sub_c // spt)
+
+    order = np.argsort(tile_keys, kind="stable")
+    tile_keys_sorted = tile_keys[order]
+    unique_tiles, starts = np.unique(tile_keys_sorted, return_index=True)
+    groups_per_tile = np.add.reduceat(groups[order], starts)
+
+    # nnz per tile straight from the raw coordinates.
+    nnz_tile_keys = (
+        (coo.rows // tile_size) * n_tile_cols + coo.cols // tile_size
+    )
+    nnz_counts = np.bincount(
+        np.searchsorted(unique_tiles, nnz_tile_keys),
+        minlength=unique_tiles.size,
+    )
+
+    return GlobalComposition(
+        shape=coo.shape,
+        k=k,
+        tile_size=tile_size,
+        tile_rows=(unique_tiles // n_tile_cols).astype(np.int64),
+        tile_cols=(unique_tiles % n_tile_cols).astype(np.int64),
+        groups_per_tile=groups_per_tile.astype(np.int64),
+        nnz_per_tile=nnz_counts.astype(np.int64),
+    )

@@ -1,0 +1,115 @@
+"""Vectorized fast path for the functional simulator.
+
+The event-level simulator in :mod:`repro.hw.accelerator` walks every
+template group through the opcode-decoded VALU datapath — ideal for
+verification, but Python-loop bound.  This module computes the *same*
+:class:`~repro.hw.accelerator.SimResult` with whole-array numpy
+operations: identical numeric output, identical tile schedule, identical
+per-PE group counts and identical HBM byte accounting.
+
+The numeric shortcut is justified by the test suite: the VALU datapath
+is proven equivalent to the template semantics for every one of the
+1820 possible templates (``tests/test_valu.py``), so expanding template
+cells directly is exact.  Equivalence of the two engines is itself
+asserted in ``tests/test_fast_sim.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.format import SpasmMatrix
+from repro.hw.configs import HwConfig, PES_PER_GROUP
+from repro.hw.perf_model import assign_tiles, perf_breakdown
+
+
+def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
+             y: np.ndarray = None):
+    """Vectorized equivalent of :meth:`SpasmAccelerator.run`."""
+    from repro.hw.accelerator import SimResult
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (spasm.shape[1],):
+        raise ValueError(
+            f"x of shape {x.shape} incompatible with {spasm.shape}"
+        )
+    if y is None:
+        y_out = np.zeros(spasm.shape[0], dtype=np.float64)
+    else:
+        y_out = np.array(y, dtype=np.float64)
+        if y_out.shape != (spasm.shape[0],):
+            raise ValueError(
+                f"y of shape {y_out.shape} incompatible with {spasm.shape}"
+            )
+
+    # Numeric result: software execution of the format (exact).
+    y_out = spasm.spmv(x, y_out)
+
+    # Schedule and per-PE accounting, mirroring the event simulator.
+    groups_per_tile = spasm.groups_per_tile()
+    owner = assign_tiles(groups_per_tile, config.num_pes)
+    pe_groups = np.bincount(
+        owner, weights=groups_per_tile, minlength=config.num_pes
+    ).astype(np.int64)
+
+    hbm_bytes = _hbm_bytes(spasm, config, owner, pe_groups)
+
+    breakdown = perf_breakdown(
+        spasm.global_composition(), config, spasm.tile_size
+    )
+    cycles = breakdown.total_cycles
+    time_s = cycles / config.frequency_hz
+    flops = 2 * spasm.source_nnz + spasm.shape[0]
+    return SimResult(
+        y=y_out,
+        cycles=cycles,
+        time_s=time_s,
+        gflops=flops / time_s / 1e9 if time_s else 0.0,
+        hbm_bytes=hbm_bytes,
+        pe_groups_executed=pe_groups,
+        bottleneck=breakdown.bottleneck,
+    )
+
+
+def _hbm_bytes(spasm: SpasmMatrix, config: HwConfig, owner: np.ndarray,
+               pe_groups: np.ndarray) -> int:
+    """Total channel traffic, matching the event simulator's counters.
+
+    The event path charges per PE: ``k*4`` value bytes and 4 position
+    bytes per group, the (edge-clipped) x segment per tile, and an
+    edge-clipped read-modify-write per (PE, tile-row) flush; the integer
+    division when spreading group totals over position/x channels is
+    reproduced exactly.
+    """
+    k = spasm.k
+    tile_size = spasm.tile_size
+    nrows, ncols = spasm.shape
+
+    # Per-tile x segment size (clipped at the matrix edge).
+    x_lo = spasm.tile_cols * tile_size
+    seg = np.minimum(tile_size, np.maximum(ncols - x_lo, 0))
+
+    # Per-(PE, tile row) flush span (clipped at the matrix edge).
+    row_base = spasm.tile_rows * tile_size
+    span = np.minimum(tile_size, np.maximum(nrows - row_base, 0))
+
+    total = 0
+    for g in range(config.num_pe_groups):
+        lo, hi = g * PES_PER_GROUP, (g + 1) * PES_PER_GROUP
+        group_pe_groups = pe_groups[lo:hi]
+        # Value channels: exact per-PE sum (4 PEs per channel).
+        total += int(group_pe_groups.sum()) * k * 4
+        # Position channels: group total split over 2 channels with the
+        # same floor division the event path applies.
+        pos_total = int(group_pe_groups.sum()) * 4
+        total += (pos_total // 2) * 2
+        # x channels: per-tile prefetches of the group's PEs.
+        in_group = (owner >= lo) & (owner < hi)
+        x_total = int(seg[in_group].sum()) * 4
+        total += (x_total // config.num_xvec_ch) * config.num_xvec_ch
+
+    # y channel: one flush per (PE, tile row) pair.
+    pairs = owner * np.int64(2 ** 32) + spasm.tile_rows
+    __, first = np.unique(pairs, return_index=True)
+    total += int(span[first].sum()) * 8
+    return total

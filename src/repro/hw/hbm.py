@@ -1,0 +1,80 @@
+"""HBM channel accounting.
+
+The functional simulator and the performance model share this byte-level
+accounting: each channel records the bytes it served, and its cycle cost
+is ``bytes / bytes_per_cycle`` at the core clock.  Channels are the unit
+the paper allocates (4 PEs per A-value channel, 2 position channels and
+``NUM_XVEC_CH`` x channels per PE group, one global y channel).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class HBMChannel:
+    """One HBM pseudo-channel.
+
+    Attributes
+    ----------
+    name:
+        Role label, e.g. ``"g0.value0"`` or ``"y"``.
+    bytes_served:
+        Total bytes read or written through the channel.
+    """
+
+    name: str
+    bytes_served: int = 0
+
+    def transfer(self, nbytes: int) -> None:
+        """Record a transfer of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self.bytes_served += int(nbytes)
+
+    def cycles(self, bytes_per_cycle: float) -> float:
+        """Cycles the channel is busy at the given service rate."""
+        return self.bytes_served / bytes_per_cycle
+
+
+class HBMSystem:
+    """The set of channels allocated to one SPASM configuration."""
+
+    def __init__(self, config):
+        self.config = config
+        self.channels = {}
+        for g in range(config.num_pe_groups):
+            for v in range(4):
+                self._add(f"g{g}.value{v}")
+            for p in range(2):
+                self._add(f"g{g}.pos{p}")
+            for x in range(config.num_xvec_ch):
+                self._add(f"g{g}.xvec{x}")
+        self._add("y")
+
+    def _add(self, name: str) -> None:
+        self.channels[name] = HBMChannel(name)
+
+    def __getitem__(self, name: str) -> HBMChannel:
+        return self.channels[name]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes served across all channels."""
+        return sum(ch.bytes_served for ch in self.channels.values())
+
+    def busiest(self, bytes_per_cycle: float) -> tuple:
+        """(name, cycles) of the most loaded channel."""
+        name = max(
+            self.channels, key=lambda n: self.channels[n].bytes_served
+        )
+        return name, self.channels[name].cycles(bytes_per_cycle)
+
+    def cycles(self, bytes_per_cycle: float) -> float:
+        """Cycle cost of the most loaded channel (channels run in
+        parallel, so the slowest one bounds the memory system)."""
+        return self.busiest(bytes_per_cycle)[1]

@@ -1,0 +1,194 @@
+"""Byte-level HBM memory images of a scheduled SPASM workload.
+
+The simulator models channels by byte counts; this module goes one step
+further and materializes the *actual* images a host would write into
+each HBM channel before launching the accelerator:
+
+* one **value image** per A-value channel — 16-byte group payloads
+  (4 x float32) of the 4 PEs sharing the channel, interleaved per the
+  schedule;
+* one **position image** per position channel — the 32-bit position
+  words of the group's 16 PEs, round-robined over the 2 channels;
+* a per-PE **descriptor table** (tile coordinates + group counts) that
+  the load units walk.
+
+``unpack_images`` reconstructs every PE's (word, values) stream from the
+images, proving the layout is lossless; tests additionally re-execute
+the unpacked stream and compare against ``A @ x``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.format import SpasmMatrix
+from repro.hw.configs import (
+    HwConfig,
+    PES_PER_GROUP,
+    PES_PER_VALUE_CHANNEL,
+    POSITION_CHANNELS_PER_GROUP,
+)
+from repro.hw.perf_model import assign_tiles
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryImage:
+    """The packed images of one scheduled workload.
+
+    Attributes
+    ----------
+    value_images:
+        ``{channel_name: bytes}`` for every A-value channel.
+    position_images:
+        ``{channel_name: bytes}`` for every position channel.
+    descriptors:
+        Per PE, the ordered list of ``(tile_row, tile_col, n_groups)``.
+    config:
+        The hardware configuration the schedule targeted.
+    """
+
+    value_images: dict
+    position_images: dict
+    descriptors: list
+    config: HwConfig
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across all images."""
+        return sum(
+            len(img) for img in self.value_images.values()
+        ) + sum(len(img) for img in self.position_images.values())
+
+
+def _per_pe_streams(spasm: SpasmMatrix, config: HwConfig):
+    """Split the encoded stream into per-PE (descriptors, words, values)."""
+    owner = assign_tiles(spasm.groups_per_tile(), config.num_pes)
+    descriptors = [[] for __ in range(config.num_pes)]
+    words = [[] for __ in range(config.num_pes)]
+    values = [[] for __ in range(config.num_pes)]
+    for t, tile in enumerate(spasm.tiles()):
+        pe = int(owner[t])
+        descriptors[pe].append(
+            (tile.tile_row, tile.tile_col, tile.n_groups)
+        )
+        words[pe].append(tile.words)
+        values[pe].append(tile.values)
+    words = [
+        np.concatenate(w) if w else np.zeros(0, dtype=np.uint32)
+        for w in words
+    ]
+    values = [
+        np.concatenate(v)
+        if v
+        else np.zeros((0, spasm.k), dtype=np.float64)
+        for v in values
+    ]
+    return descriptors, words, values
+
+
+def pack_images(spasm: SpasmMatrix, config: HwConfig) -> MemoryImage:
+    """Materialize the per-channel byte images of a scheduled workload."""
+    descriptors, pe_words, pe_values = _per_pe_streams(spasm, config)
+
+    value_images = {}
+    position_images = {}
+    for g in range(config.num_pe_groups):
+        base = g * PES_PER_GROUP
+        # Value channels: the 4 sharing PEs' group payloads interleaved
+        # round-robin (the channel serves them in turn).
+        for v in range(PES_PER_GROUP // PES_PER_VALUE_CHANNEL):
+            pes = [
+                base + v * PES_PER_VALUE_CHANNEL + i
+                for i in range(PES_PER_VALUE_CHANNEL)
+            ]
+            chunks = []
+            counts = [pe_values[pe].shape[0] for pe in pes]
+            for slot in range(max(counts, default=0)):
+                for pe in pes:
+                    if slot < pe_values[pe].shape[0]:
+                        chunks.append(
+                            pe_values[pe][slot]
+                            .astype(np.float32)
+                            .tobytes()
+                        )
+            value_images[f"g{g}.value{v}"] = b"".join(chunks)
+        # Position channels: all 16 PEs' words, round-robined over the
+        # group's 2 channels by word index.
+        group_words = []
+        for pe in range(base, base + PES_PER_GROUP):
+            for i, word in enumerate(pe_words[pe]):
+                group_words.append((pe, i, np.uint32(word)))
+        for p in range(POSITION_CHANNELS_PER_GROUP):
+            chunk = [
+                np.uint32(word).tobytes()
+                for idx, (__, __, word) in enumerate(group_words)
+                if idx % POSITION_CHANNELS_PER_GROUP == p
+            ]
+            position_images[f"g{g}.pos{p}"] = b"".join(chunk)
+
+    return MemoryImage(
+        value_images=value_images,
+        position_images=position_images,
+        descriptors=descriptors,
+        config=config,
+    )
+
+
+def unpack_images(image: MemoryImage, k: int = 4):
+    """Rebuild every PE's (words, values) stream from the images.
+
+    Returns ``(pe_words, pe_values)`` lists indexed by PE id; values are
+    ``float32``-rounded, exactly as the hardware would see them.
+    """
+    config = image.config
+    n_groups_per_pe = [
+        sum(n for __, __, n in descriptor)
+        for descriptor in image.descriptors
+    ]
+
+    pe_values = [
+        np.zeros((n, k), dtype=np.float32) for n in n_groups_per_pe
+    ]
+    for g in range(config.num_pe_groups):
+        base = g * PES_PER_GROUP
+        for v in range(PES_PER_GROUP // PES_PER_VALUE_CHANNEL):
+            pes = [
+                base + v * PES_PER_VALUE_CHANNEL + i
+                for i in range(PES_PER_VALUE_CHANNEL)
+            ]
+            payload = np.frombuffer(
+                image.value_images[f"g{g}.value{v}"], dtype=np.float32
+            ).reshape(-1, k)
+            cursor = 0
+            counts = [n_groups_per_pe[pe] for pe in pes]
+            for slot in range(max(counts, default=0)):
+                for pe, count in zip(pes, counts):
+                    if slot < count:
+                        pe_values[pe][slot] = payload[cursor]
+                        cursor += 1
+
+    pe_words = [
+        np.zeros(n, dtype=np.uint32) for n in n_groups_per_pe
+    ]
+    for g in range(config.num_pe_groups):
+        base = g * PES_PER_GROUP
+        slots = [
+            (pe, i)
+            for pe in range(base, base + PES_PER_GROUP)
+            for i in range(n_groups_per_pe[pe])
+        ]
+        streams = [
+            np.frombuffer(
+                image.position_images[f"g{g}.pos{p}"], dtype=np.uint32
+            )
+            for p in range(POSITION_CHANNELS_PER_GROUP)
+        ]
+        cursors = [0] * POSITION_CHANNELS_PER_GROUP
+        for idx, (pe, i) in enumerate(slots):
+            p = idx % POSITION_CHANNELS_PER_GROUP
+            pe_words[pe][i] = streams[p][cursors[p]]
+            cursors[p] += 1
+
+    return pe_words, pe_values

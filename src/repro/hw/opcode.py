@@ -1,0 +1,169 @@
+"""30-bit VALU opcodes (paper Section IV-D1).
+
+The VALU multiplies a 4-value template group against the packed x buffer
+and routes the products/sums to 4 output lanes (the rows of the 4-by-4
+submatrix the group touches).  The datapath is 4 multipliers, 3 adders
+and a mux network; one 30-bit opcode fully configures the routing:
+
+=============  ====  ====================================================
+field          bits  meaning
+=============  ====  ====================================================
+``mul_sel``    4x2   x-buffer lane feeding each multiplier (the column of
+                     the template cell, selected by a 4-to-1 mux)
+``a0_sel``     2+2   adder a0 operands, each from {m0..m3}
+``a1_sel``     3+3   adder a1 operands, each from {m0..m3, a0}
+(``a2``)       0     hardwired ``a2 = a0 + a1``
+``out_sel``    4x3   per output lane, one of
+                     {zero, m0..m3, a0, a1, a2}
+=============  ====  ====================================================
+
+Because a template's cells are stored in row-major order, cells sharing a
+row occupy *contiguous* multiplier lanes, and every possible row grouping
+of 4 lanes (4 / 3+1 / 2+2 / 2+1+1 / ... / 1+1+1+1) is routable with this
+adder arrangement — that is why 30 bits suffice for arbitrary templates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.bitmask import DEFAULT_K, coords_from_mask, popcount
+from repro.core.templates import Portfolio
+
+#: Output mux node ids.
+NODE_ZERO = 0
+NODE_M0 = 1  # m_i = NODE_M0 + i
+NODE_A0 = 5
+NODE_A1 = 6
+NODE_A2 = 7
+
+#: a1 operand mux node ids ({m0..m3, a0}).
+A1_OPERAND_A0 = 4
+
+_MUL_SHIFT = 0  # 4 lanes x 2 bits -> bits 0..7
+_A0_SHIFT = 8  # 2 ops x 2 bits   -> bits 8..11
+_A1_SHIFT = 12  # 2 ops x 3 bits   -> bits 12..17
+_OUT_SHIFT = 18  # 4 lanes x 3 bits -> bits 18..29
+OPCODE_BITS = 30
+
+
+class OpcodeError(ValueError):
+    """Raised for unroutable templates or malformed opcodes."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Opcode:
+    """Decoded view of a 30-bit VALU opcode."""
+
+    mul_sel: tuple  # 4 x 2-bit x-lane selects
+    a0_sel: tuple  # 2 x 2-bit operand selects over {m0..m3}
+    a1_sel: tuple  # 2 x 3-bit operand selects over {m0..m3, a0}
+    out_sel: tuple  # 4 x 3-bit output node selects
+
+    def pack(self) -> int:
+        """Pack back into the 30-bit integer form."""
+        return encode_opcode(self)
+
+
+def encode_opcode(opcode: Opcode) -> int:
+    """Pack an :class:`Opcode` into its 30-bit integer form."""
+    word = 0
+    for lane, sel in enumerate(opcode.mul_sel):
+        if not 0 <= sel < 4:
+            raise OpcodeError(f"mul_sel[{lane}]={sel} exceeds 2 bits")
+        word |= sel << (_MUL_SHIFT + 2 * lane)
+    for i, sel in enumerate(opcode.a0_sel):
+        if not 0 <= sel < 4:
+            raise OpcodeError(f"a0_sel[{i}]={sel} exceeds 2 bits")
+        word |= sel << (_A0_SHIFT + 2 * i)
+    for i, sel in enumerate(opcode.a1_sel):
+        if not 0 <= sel < 5:
+            raise OpcodeError(f"a1_sel[{i}]={sel} out of {{m0..m3, a0}}")
+        word |= sel << (_A1_SHIFT + 3 * i)
+    for lane, sel in enumerate(opcode.out_sel):
+        if not 0 <= sel < 8:
+            raise OpcodeError(f"out_sel[{lane}]={sel} exceeds 3 bits")
+        word |= sel << (_OUT_SHIFT + 3 * lane)
+    return word
+
+
+def decode_opcode(word: int) -> Opcode:
+    """Unpack a 30-bit opcode word."""
+    word = int(word)
+    if not 0 <= word < (1 << OPCODE_BITS):
+        raise OpcodeError(f"opcode {word:#x} is not {OPCODE_BITS}-bit")
+    mul_sel = tuple(word >> (_MUL_SHIFT + 2 * i) & 3 for i in range(4))
+    a0_sel = tuple(word >> (_A0_SHIFT + 2 * i) & 3 for i in range(2))
+    a1_sel = tuple(word >> (_A1_SHIFT + 3 * i) & 7 for i in range(2))
+    out_sel = tuple(word >> (_OUT_SHIFT + 3 * i) & 7 for i in range(4))
+    for sel in a1_sel:
+        if sel > A1_OPERAND_A0:
+            raise OpcodeError(f"a1 operand select {sel} out of range")
+    return Opcode(mul_sel, a0_sel, a1_sel, out_sel)
+
+
+def opcode_for_template(mask: int, k: int = DEFAULT_K) -> Opcode:
+    """Derive the VALU routing for one template pattern.
+
+    The template's cells (row-major bit order) define the multiplier
+    lanes; lanes sharing a submatrix row are summed and routed to that
+    row's output lane.
+    """
+    if k != DEFAULT_K:
+        raise OpcodeError(
+            f"the VALU datapath is 4 lanes wide; k={k} is unsupported"
+        )
+    if popcount(mask) != k:
+        raise OpcodeError(
+            f"template {mask:#06x} has {popcount(mask)} cells, expected {k}"
+        )
+    cells = coords_from_mask(mask, k)
+    mul_sel = tuple(c for __, c in cells)
+
+    # Contiguous runs of lanes sharing a row.
+    runs = []  # (row, first_lane, length)
+    for lane, (r, __) in enumerate(cells):
+        if runs and runs[-1][0] == r:
+            runs[-1][2] += 1
+        else:
+            runs.append([r, lane, 1])
+
+    a0_sel = [0, 0]
+    a1_sel = [0, 0]
+    out_sel = [NODE_ZERO] * k
+    a0_used = False
+    for row, start, length in runs:
+        if length == 1:
+            node = NODE_M0 + start
+        elif length == 2:
+            if not a0_used:
+                a0_sel = [start, start + 1]
+                a0_used = True
+                node = NODE_A0
+            else:
+                a1_sel = [start, start + 1]
+                node = NODE_A1
+        elif length == 3:
+            a0_sel = [start, start + 1]
+            a0_used = True
+            a1_sel = [A1_OPERAND_A0, start + 2]
+            node = NODE_A1
+        else:  # length == 4
+            a0_sel = [0, 1]
+            a1_sel = [2, 3]
+            a0_used = True
+            node = NODE_A2
+        out_sel[row] = node
+    return Opcode(mul_sel, tuple(a0_sel), tuple(a1_sel), tuple(out_sel))
+
+
+def opcode_table(portfolio: Portfolio) -> list:
+    """The PE's opcode look-up table: one packed opcode per t_idx.
+
+    Loaded at initialization (paper Section IV-D2); swapping this table
+    is what lets one bitstream serve different pattern portfolios.
+    """
+    return [
+        encode_opcode(opcode_for_template(mask, portfolio.k))
+        for mask in portfolio.masks
+    ]

@@ -1,0 +1,124 @@
+"""Functional model of one SPASM PE (paper Section IV-D2).
+
+A PE couples a double-buffered input (x) vector buffer, a partial-sum (y)
+buffer, an opcode decoder LUT and a VALU.  Per cycle it consumes one
+template group: the position word selects the opcode (t_idx), the packed
+x segment (c_idx) and the partial-sum slot (r_idx); CE/RE drive the
+buffer switches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.encoding import unpack_position
+from repro.hw.valu import VALU, VALUOp
+
+#: Extra cycles charged per tile switch (pipeline drain + buffer swap).
+TILE_SWITCH_CYCLES = 8
+
+
+@dataclasses.dataclass
+class PEStats:
+    """Event counters of one PE."""
+
+    groups: int = 0
+    tiles: int = 0
+    flushes: int = 0
+    x_bytes: int = 0
+    value_bytes: int = 0
+    position_bytes: int = 0
+    psum_bytes: int = 0
+
+    @property
+    def compute_cycles(self) -> int:
+        """VALU issue cycles plus tile-switch overhead."""
+        return self.groups + TILE_SWITCH_CYCLES * self.tiles
+
+
+class PE:
+    """One processing element.
+
+    Parameters
+    ----------
+    pe_id:
+        Identifier within the accelerator.
+    opcode_lut:
+        Packed 30-bit opcodes indexed by t_idx (from
+        :func:`repro.hw.opcode.opcode_table`); loaded at initialization
+        and swappable to retarget the PE to a new portfolio.
+    tile_size:
+        Tile edge length; sizes the x and partial-sum buffers.
+    k:
+        Values per template group (VALU width).
+    """
+
+    def __init__(self, pe_id: int, opcode_lut, tile_size: int, k: int = 4):
+        self.pe_id = pe_id
+        self.opcode_lut = list(opcode_lut)
+        self.tile_size = tile_size
+        self.k = k
+        self.valu = VALU()
+        self.stats = PEStats()
+        # Double-buffered x: [0] is active, [1] is being prefetched.
+        self._x_buffers = [
+            np.zeros(tile_size, dtype=np.float64),
+            np.zeros(tile_size, dtype=np.float64),
+        ]
+        self.psum = np.zeros(tile_size, dtype=np.float64)
+
+    @property
+    def x_buffer(self) -> np.ndarray:
+        """The active input vector buffer."""
+        return self._x_buffers[0]
+
+    def prefetch_x(self, segment: np.ndarray) -> None:
+        """Fill the shadow x buffer (overlaps with compute)."""
+        segment = np.asarray(segment, dtype=np.float64)
+        if segment.size > self.tile_size:
+            raise ValueError(
+                f"x segment of {segment.size} exceeds tile size "
+                f"{self.tile_size}"
+            )
+        self._x_buffers[1][:] = 0.0
+        self._x_buffers[1][: segment.size] = segment
+        self.stats.x_bytes += segment.size * 4
+
+    def switch_x(self) -> None:
+        """Swap the double buffers (the CE control signal)."""
+        self._x_buffers.reverse()
+
+    def process_group(self, word: int, values: np.ndarray) -> None:
+        """Execute one template group against the active x buffer."""
+        pos = unpack_position(word)
+        opcode = self.opcode_lut[pos.t_idx]
+        x_segment = self.x_buffer[pos.c_idx * self.k : (pos.c_idx + 1) * self.k]
+        if x_segment.size < self.k:
+            padded = np.zeros(self.k, dtype=np.float64)
+            padded[: x_segment.size] = x_segment
+            x_segment = padded
+        out = self.valu.execute(VALUOp(opcode, values, x_segment))
+        base = pos.r_idx * self.k
+        self.psum[base : base + self.k] += out
+        self.stats.groups += 1
+        self.stats.value_bytes += self.k * 4
+        self.stats.position_bytes += 4
+
+    def process_tile(self, tile, x_segment: np.ndarray) -> None:
+        """Process all groups of one tile with a pre-loaded x segment."""
+        self.prefetch_x(x_segment)
+        self.switch_x()
+        for word, values in zip(tile.words, tile.values):
+            self.process_group(int(word), values)
+        self.stats.tiles += 1
+
+    def flush_psum(self, y: np.ndarray, row_base: int) -> None:
+        """Flush the partial-sum buffer into y (the RE control signal)."""
+        span = min(self.tile_size, y.size - row_base)
+        if span > 0:
+            y[row_base : row_base + span] += self.psum[:span]
+        self.stats.flushes += 1
+        self.stats.psum_bytes += max(span, 0) * 8  # read-modify-write
+        self.psum[:] = 0.0

@@ -1,0 +1,64 @@
+"""PE groups: 16 PEs sharing a slice of the HBM channel budget.
+
+Within a group, every 4 PEs share one A-value channel, all 16 share the
+position channels, and ``NUM_XVEC_CH`` channels feed the input vector
+load unit (paper Section IV-D3).
+"""
+
+from __future__ import annotations
+
+from repro.hw.configs import PES_PER_GROUP, PES_PER_VALUE_CHANNEL
+from repro.hw.pe import PE
+
+
+class PEGroup:
+    """One group of 16 PEs.
+
+    Parameters
+    ----------
+    group_id:
+        Group index within the accelerator.
+    opcode_lut:
+        Shared opcode LUT (all PEs run the same portfolio).
+    tile_size:
+        Tile edge length.
+    k:
+        Values per template group.
+    """
+
+    def __init__(self, group_id: int, opcode_lut, tile_size: int,
+                 k: int = 4):
+        self.group_id = group_id
+        self.pes = [
+            PE(group_id * PES_PER_GROUP + i, opcode_lut, tile_size, k)
+            for i in range(PES_PER_GROUP)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def __iter__(self):
+        return iter(self.pes)
+
+    def charge_channels(self, hbm, config) -> None:
+        """Post a run's PE traffic onto the group's HBM channels."""
+        g = self.group_id
+        for i, pe in enumerate(self.pes):
+            value_ch = hbm[f"g{g}.value{i // PES_PER_VALUE_CHANNEL}"]
+            value_ch.transfer(pe.stats.value_bytes)
+        total_pos = sum(pe.stats.position_bytes for pe in self.pes)
+        for p in range(2):
+            hbm[f"g{g}.pos{p}"].transfer(total_pos // 2)
+        total_x = sum(pe.stats.x_bytes for pe in self.pes)
+        for x in range(config.num_xvec_ch):
+            hbm[f"g{g}.xvec{x}"].transfer(total_x // config.num_xvec_ch)
+
+    @property
+    def total_groups(self) -> int:
+        """Template groups executed across the group's PEs."""
+        return sum(pe.stats.groups for pe in self.pes)
+
+    @property
+    def compute_cycles(self) -> int:
+        """Cycle bound of the slowest PE in the group."""
+        return max(pe.stats.compute_cycles for pe in self.pes)

@@ -1,0 +1,90 @@
+"""Functional model of the VALU datapath (paper Figure 8).
+
+The VALU is 4 multipliers, 3 adders and a mux network.  Per cycle it
+consumes one template group — 4 values from the A stream and a 4-wide
+packed segment of the x buffer — and produces a 4-wide output vector
+routed to the rows of the current 4-by-4 submatrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hw.opcode import (
+    A1_OPERAND_A0,
+    NODE_A0,
+    NODE_A1,
+    NODE_A2,
+    NODE_M0,
+    NODE_ZERO,
+    Opcode,
+    decode_opcode,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class VALUOp:
+    """One VALU issue: a packed opcode plus its operands."""
+
+    opcode: int
+    values: np.ndarray  # 4 A-stream values (zero padded)
+    x_segment: np.ndarray  # 4-wide packed x segment
+
+
+class VALU:
+    """Executes VALU operations and counts issued cycles.
+
+    The model mirrors the hardware structure exactly: the four products,
+    the three adder nodes and the four output muxes are all materialized,
+    so a routing bug in :mod:`repro.hw.opcode` shows up as a wrong
+    result rather than being silently absorbed.
+    """
+
+    def __init__(self):
+        self.cycles = 0
+        self.mul_ops = 0
+
+    def execute(self, op: VALUOp) -> np.ndarray:
+        """Run one cycle; returns the 4-wide output vector."""
+        opcode = decode_opcode(op.opcode)
+        return self._execute_decoded(opcode, op.values, op.x_segment)
+
+    def _execute_decoded(self, opcode: Opcode, values,
+                         x_segment) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        x_segment = np.asarray(x_segment, dtype=np.float64)
+        if values.shape != (4,) or x_segment.shape != (4,):
+            raise ValueError("VALU operands must be 4-wide")
+
+        # Stage 1: the four multipliers.
+        m = np.array(
+            [values[i] * x_segment[opcode.mul_sel[i]] for i in range(4)]
+        )
+
+        # Stage 2: the three adders.
+        a0 = m[opcode.a0_sel[0]] + m[opcode.a0_sel[1]]
+
+        def a1_operand(sel: int) -> float:
+            return a0 if sel == A1_OPERAND_A0 else m[sel]
+
+        a1 = a1_operand(opcode.a1_sel[0]) + a1_operand(opcode.a1_sel[1])
+        a2 = a0 + a1
+
+        # Stage 3: the four 8-to-1 output muxes.
+        nodes = {
+            NODE_ZERO: 0.0,
+            NODE_M0: m[0],
+            NODE_M0 + 1: m[1],
+            NODE_M0 + 2: m[2],
+            NODE_M0 + 3: m[3],
+            NODE_A0: a0,
+            NODE_A1: a1,
+            NODE_A2: a2,
+        }
+        out = np.array([nodes[sel] for sel in opcode.out_sel])
+
+        self.cycles += 1
+        self.mul_ops += 4
+        return out

@@ -1,0 +1,102 @@
+"""Shared base class and helpers for the sparse matrix formats."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class MatrixShapeError(ValueError):
+    """Raised when indices fall outside the declared matrix shape or when
+    operand shapes are incompatible."""
+
+
+class SparseMatrix(abc.ABC):
+    """Abstract base class of every sparse format in :mod:`repro.matrix`.
+
+    Concrete formats store their payload differently but share a small
+    interface: a ``shape``, an ``nnz`` count, a dense round-trip and a
+    reference ``spmv``.  The reference SpMV implementations are written
+    directly against each format's native layout so they double as
+    executable documentation of the format semantics.
+    """
+
+    #: (rows, cols) of the logical matrix.
+    shape: tuple
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows of the logical matrix."""
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns of the logical matrix."""
+        return self.shape[1]
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of explicitly stored non-zero entries."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialize the matrix as a dense ``float64`` ndarray."""
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        """Compute ``y = A @ x + y`` (Equation 1 of the paper).
+
+        Parameters
+        ----------
+        x:
+            Dense input vector of length ``ncols``.
+        y:
+            Optional dense accumulator of length ``nrows``.  When omitted a
+            zero vector is used, so the result equals ``A @ x``.
+        """
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that hold an explicit non-zero."""
+        cells = self.nrows * self.ncols
+        if cells == 0:
+            return 0.0
+        return self.nnz / cells
+
+    def check_vector(self, x: np.ndarray) -> np.ndarray:
+        """Validate and coerce an SpMV input vector."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1 or x.shape[0] != self.ncols:
+            raise MatrixShapeError(
+                f"input vector of length {x.shape} incompatible with "
+                f"matrix of shape {self.shape}"
+            )
+        return x
+
+    def init_output(self, y: np.ndarray) -> np.ndarray:
+        """Validate an SpMV accumulator, or build a fresh zero vector."""
+        if y is None:
+            return np.zeros(self.nrows, dtype=np.float64)
+        y = np.array(y, dtype=np.float64)
+        if y.ndim != 1 or y.shape[0] != self.nrows:
+            raise MatrixShapeError(
+                f"output vector of length {y.shape} incompatible with "
+                f"matrix of shape {self.shape}"
+            )
+        return y
+
+    def __repr__(self) -> str:
+        name = type(self).__name__
+        return f"{name}(shape={self.shape}, nnz={self.nnz})"
+
+
+def validate_shape(shape) -> tuple:
+    """Validate a (rows, cols) shape tuple."""
+    if len(shape) != 2:
+        raise MatrixShapeError(f"shape must be 2-D, got {shape!r}")
+    nrows, ncols = int(shape[0]), int(shape[1])
+    if nrows < 0 or ncols < 0:
+        raise MatrixShapeError(f"shape must be non-negative, got {shape!r}")
+    return (nrows, ncols)

@@ -1,0 +1,84 @@
+"""Compressed Sparse Column (CSC) format — the column-major dual of CSR."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix.base import MatrixShapeError, SparseMatrix, validate_shape
+
+
+class CSCMatrix(SparseMatrix):
+    """Compressed sparse column matrix.
+
+    Parameters
+    ----------
+    indptr:
+        ``ncols + 1`` column pointers; column ``j`` owns entries
+        ``indptr[j]:indptr[j+1]``.
+    indices:
+        Row index of each stored entry, sorted within each column.
+    data:
+        Stored values, parallel to ``indices``.
+    shape:
+        Logical ``(nrows, ncols)``.
+    """
+
+    def __init__(self, indptr, indices, data, shape):
+        self.shape = validate_shape(shape)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        if indptr.ndim != 1 or indptr.size != self.shape[1] + 1:
+            raise MatrixShapeError(
+                f"indptr must have ncols+1={self.shape[1] + 1} entries, "
+                f"got {indptr.size}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise MatrixShapeError("indptr must start at 0 and be monotone")
+        if indices.shape != data.shape or indices.ndim != 1:
+            raise MatrixShapeError("indices and data must be equal-length 1-D")
+        if indptr[-1] != indices.size:
+            raise MatrixShapeError("indptr[-1] must equal len(indices)")
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.shape[0]
+        ):
+            raise MatrixShapeError("row indices out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def col(self, j: int) -> tuple:
+        """Return ``(rows, vals)`` views of column ``j``."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_lengths(self) -> np.ndarray:
+        """Number of stored entries per column."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        cols = np.repeat(
+            np.arange(self.shape[1], dtype=np.int64), self.col_lengths()
+        )
+        dense[self.indices, cols] = self.data
+        return dense
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        x = self.check_vector(x)
+        y = self.init_output(y)
+        cols = np.repeat(
+            np.arange(self.shape[1], dtype=np.int64), self.col_lengths()
+        )
+        np.add.at(y, self.indices, self.data * x[cols])
+        return y
+
+    def storage_bytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        """Column pointers + one row index and one value per non-zero."""
+        return (self.shape[1] + 1) * index_bytes + self.nnz * (
+            index_bytes + value_bytes
+        )

@@ -1,0 +1,93 @@
+"""Compressed Sparse Row (CSR) format.
+
+CSR compresses the row coordinate of COO into a row-pointer array, saving
+roughly one 32-bit index per non-zero for matrices with more non-zeros than
+rows — the source of the ~1.46x average improvement over COO in Table VI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix.base import MatrixShapeError, SparseMatrix, validate_shape
+
+
+class CSRMatrix(SparseMatrix):
+    """Compressed sparse row matrix.
+
+    Parameters
+    ----------
+    indptr:
+        ``nrows + 1`` row pointers; row ``i`` owns entries
+        ``indptr[i]:indptr[i+1]``.
+    indices:
+        Column index of each stored entry, sorted within each row.
+    data:
+        Stored values, parallel to ``indices``.
+    shape:
+        Logical ``(nrows, ncols)``.
+    """
+
+    def __init__(self, indptr, indices, data, shape):
+        self.shape = validate_shape(shape)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        if indptr.ndim != 1 or indptr.size != self.shape[0] + 1:
+            raise MatrixShapeError(
+                f"indptr must have nrows+1={self.shape[0] + 1} entries, "
+                f"got {indptr.size}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise MatrixShapeError("indptr must start at 0 and be monotone")
+        if indices.shape != data.shape or indices.ndim != 1:
+            raise MatrixShapeError("indices and data must be equal-length 1-D")
+        if indptr[-1] != indices.size:
+            raise MatrixShapeError("indptr[-1] must equal len(indices)")
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.shape[1]
+        ):
+            raise MatrixShapeError("column indices out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def row(self, i: int) -> tuple:
+        """Return ``(cols, vals)`` views of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), self.row_lengths()
+        )
+        dense[rows, self.indices] = self.data
+        return dense
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        x = self.check_vector(x)
+        y = self.init_output(y)
+        products = self.data * x[self.indices]
+        # Segment-sum each row's products via reduceat over non-empty rows.
+        lengths = self.row_lengths()
+        nonempty = np.nonzero(lengths)[0]
+        if nonempty.size:
+            starts = self.indptr[nonempty]
+            y[nonempty] += np.add.reduceat(products, starts)
+        return y
+
+    def storage_bytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        """Paper accounting: row pointers + one column index and one value
+        per non-zero."""
+        return (self.shape[0] + 1) * index_bytes + self.nnz * (
+            index_bytes + value_bytes
+        )

@@ -1,0 +1,87 @@
+"""ELLPACK (ELL) format.
+
+ELL pads every row to the maximum row length, producing two dense
+``nrows x width`` arrays (column indices and values).  It suits banded and
+diagonal matrices (Table I) and vector machines, but a single long row
+inflates the whole matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix.base import MatrixShapeError, SparseMatrix, validate_shape
+
+#: Column index used to mark padding slots.
+ELL_PAD = -1
+
+
+class ELLMatrix(SparseMatrix):
+    """ELLPACK matrix with ``-1``-marked padding slots.
+
+    Parameters
+    ----------
+    col_idx:
+        ``(nrows, width)`` int array; ``ELL_PAD`` marks padding.
+    values:
+        ``(nrows, width)`` float array; padding slots hold 0.
+    shape:
+        Logical ``(nrows, ncols)``.
+    """
+
+    def __init__(self, col_idx, values, shape):
+        self.shape = validate_shape(shape)
+        col_idx = np.asarray(col_idx, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if col_idx.ndim != 2 or col_idx.shape != values.shape:
+            raise MatrixShapeError(
+                "col_idx and values must be equal-shape 2-D arrays"
+            )
+        if col_idx.shape[0] != self.shape[0]:
+            raise MatrixShapeError(
+                f"expected {self.shape[0]} rows, got {col_idx.shape[0]}"
+            )
+        valid = col_idx != ELL_PAD
+        if valid.any() and (
+            col_idx[valid].min() < 0 or col_idx[valid].max() >= self.shape[1]
+        ):
+            raise MatrixShapeError("column indices out of range")
+        if np.any(values[~valid] != 0.0):
+            raise MatrixShapeError("padding slots must hold zero values")
+        self.col_idx = col_idx
+        self.values = values
+
+    @property
+    def width(self) -> int:
+        """Padded row width (maximum row length of the source matrix)."""
+        return int(self.col_idx.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col_idx != ELL_PAD))
+
+    @property
+    def stored_values(self) -> int:
+        """Number of stored slots including padding."""
+        return int(self.col_idx.size)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows, slots = np.nonzero(self.col_idx != ELL_PAD)
+        dense[rows, self.col_idx[rows, slots]] = self.values[rows, slots]
+        return dense
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        x = self.check_vector(x)
+        y = self.init_output(y)
+        if self.width == 0:
+            return y
+        safe_cols = np.where(self.col_idx == ELL_PAD, 0, self.col_idx)
+        gathered = x[safe_cols]
+        gathered[self.col_idx == ELL_PAD] = 0.0
+        y += (self.values * gathered).sum(axis=1)
+        return y
+
+    def storage_bytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        """One index and one value per slot, padding included."""
+        return self.stored_values * (index_bytes + value_bytes)

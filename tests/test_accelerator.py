@@ -1,0 +1,104 @@
+"""End-to-end functional simulation tests (format + opcodes + datapath)."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_portfolios, encode_spasm
+from repro.hw import DEFAULT_CONFIGS, SPASM_3_2, SPASM_4_1, SpasmAccelerator
+from repro.synth import generators as g
+from tests.conftest import random_structured_coo
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("kind", ["mixed", "blocks", "scatter"])
+    def test_sim_matches_reference(self, rng, kind):
+        coo = random_structured_coo(rng, 96, kind)
+        portfolio = candidate_portfolios()[0]
+        spasm = encode_spasm(coo, portfolio, 32)
+        x = rng.random(96)
+        result = SpasmAccelerator(SPASM_4_1).run(spasm, x)
+        assert np.allclose(result.y, coo.spmv(x))
+
+    @pytest.mark.parametrize("config", DEFAULT_CONFIGS,
+                             ids=lambda c: c.name)
+    def test_all_configs_agree(self, rng, config):
+        coo = random_structured_coo(rng, 64, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[3], 16)
+        x = rng.random(64)
+        result = SpasmAccelerator(config).run(spasm, x)
+        assert np.allclose(result.y, coo.spmv(x))
+
+    def test_accumulates_into_y(self, rng):
+        coo = random_structured_coo(rng, 64, "blocks")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 32)
+        x = rng.random(64)
+        y0 = rng.random(64)
+        result = SpasmAccelerator(SPASM_3_2).run(spasm, x, y0)
+        assert np.allclose(result.y, coo.spmv(x, y0))
+
+    def test_structured_generators(self, rng):
+        portfolio = candidate_portfolios()[4]
+        for coo in (
+            g.diagonal_stripes(64, (0, 5), fill=0.8, seed=1),
+            g.anti_diagonal_stripes(64, (0, -9), fill=0.8, seed=2),
+            g.banded(64, 2, fill=0.7, seed=3),
+        ):
+            spasm = encode_spasm(coo, portfolio, 16)
+            x = rng.random(coo.shape[1])
+            result = SpasmAccelerator(SPASM_4_1).run(spasm, x)
+            assert np.allclose(result.y, coo.spmv(x))
+
+    def test_non_square(self, rng):
+        dense = np.where(rng.random((24, 60)) < 0.15, 1.0, 0.0)
+        from repro.matrix import COOMatrix
+
+        coo = COOMatrix.from_dense(dense)
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 16)
+        x = rng.random(60)
+        result = SpasmAccelerator(SPASM_3_2).run(spasm, x)
+        assert np.allclose(result.y, dense @ x)
+
+    def test_empty_matrix(self):
+        from repro.matrix import COOMatrix
+
+        spasm = encode_spasm(
+            COOMatrix([], [], [], (16, 16)), candidate_portfolios()[0], 16
+        )
+        result = SpasmAccelerator(SPASM_4_1).run(spasm, np.ones(16))
+        assert np.allclose(result.y, 0.0)
+
+
+class TestSimAccounting:
+    def test_group_conservation(self, rng):
+        coo = random_structured_coo(rng, 96, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 32)
+        result = SpasmAccelerator(SPASM_4_1).run(spasm, np.ones(96))
+        assert result.pe_groups_executed.sum() == spasm.n_groups
+
+    def test_cycles_positive_and_metrics(self, rng):
+        coo = random_structured_coo(rng, 96, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 32)
+        result = SpasmAccelerator(SPASM_4_1).run(spasm, np.ones(96))
+        assert result.cycles > 0
+        assert result.time_s == pytest.approx(
+            result.cycles / SPASM_4_1.frequency_hz
+        )
+        assert result.gflops > 0
+        assert result.hbm_bytes > 0
+        assert result.bottleneck in {
+            "compute", "value-stream", "position-stream", "x-load", "y",
+        }
+
+    def test_rejects_bad_x(self, rng):
+        coo = random_structured_coo(rng, 32, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 16)
+        with pytest.raises(ValueError):
+            SpasmAccelerator(SPASM_4_1).run(spasm, np.ones(5))
+
+    def test_rejects_bad_y(self, rng):
+        coo = random_structured_coo(rng, 32, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 16)
+        with pytest.raises(ValueError):
+            SpasmAccelerator(SPASM_4_1).run(
+                spasm, np.ones(32), np.ones(5)
+            )

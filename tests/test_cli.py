@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_matrix, main
+from repro.matrix import COOMatrix, write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    coo = COOMatrix.from_dense(np.eye(16))
+    path = tmp_path / "eye.mtx"
+    write_matrix_market(path, coo)
+    return str(path)
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "mycielskian14" in out and "stormG2_1000" in out
+
+    def test_analyze_workload(self, capsys):
+        assert main(["analyze", "t2em", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct patterns" in out
+        assert "#1:" in out
+
+    def test_analyze_no_spy(self, capsys):
+        assert main(["analyze", "t2em", "--no-spy"]) == 0
+        out = capsys.readouterr().out
+        assert "+--" not in out
+
+    def test_analyze_mtx_file(self, capsys, mtx_file):
+        assert main(["analyze", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "nnz=16" in out
+
+    def test_analyze_pattern_size(self, capsys):
+        assert main(
+            ["analyze", "t2em", "--pattern-size", "2", "--no-spy"]
+        ) == 0
+        assert "submatrices" in capsys.readouterr().out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "raefsky3", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio:" in out
+        assert "GFLOP/s" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "t2em", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "SPASM" in out and "COO" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "t2em", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Serpens_a24" in out and "RTX 3090" in out
+
+
+class TestEncodeSpmv:
+    def test_encode_then_spmv(self, capsys, tmp_path):
+        out = str(tmp_path / "m.npz")
+        assert main([
+            "encode", "t2em", "--scale", "0.2", "-o", out,
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["spmv", out]) == 0
+        text = capsys.readouterr().out
+        assert "exact" in text and "GFLOP/s" in text
+
+    def test_spmv_hardware_choice(self, capsys, tmp_path):
+        out = str(tmp_path / "m.npz")
+        main(["encode", "raefsky3", "--scale", "0.2", "-o", out])
+        capsys.readouterr()
+        assert main(["spmv", out, "--hardware", "SPASM_3_2"]) == 0
+        assert "SPASM_3_2" in capsys.readouterr().out
+
+    def test_spmv_missing_file(self, capsys):
+        assert main(["spmv", "/no/such.npz"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReproduce:
+    def test_writes_reports(self, capsys, tmp_path):
+        out = tmp_path / "rep"
+        assert main([
+            "reproduce", "--out", str(out), "--scale", "0.2",
+            "--matrices", "raefsky3,t2em",
+        ]) == 0
+        written = {p.name for p in out.iterdir()}
+        assert written == {
+            "storage.txt", "throughput.txt",
+            "bandwidth_efficiency.txt", "energy.txt",
+        }
+        text = (out / "throughput.txt").read_text()
+        assert "raefsky3" in text and "Serpens_a24" in text
+        assert "wrote 4 reports" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_workload(self, capsys):
+        assert main(["analyze", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_mtx(self, capsys):
+        assert main(["analyze", "/does/not/exist.mtx"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestLoadMatrix:
+    def test_workload_name(self):
+        assert load_matrix("t2em", 0.3).nnz > 0
+
+    def test_mtx_path(self, mtx_file):
+        assert load_matrix(mtx_file, 1.0).nnz == 16

@@ -1,0 +1,145 @@
+"""Tests for the greedy dynamic portfolio builder (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_local_patterns, select_portfolio
+from repro.core.bitmask import diag_mask, full_mask, popcount, row_mask
+from repro.core.decompose import DecompositionTable
+from repro.core.dynamic import (
+    GreedyBuildResult,
+    GreedyPortfolioBuilder,
+    greedy_storage_bytes,
+)
+from repro.core.selection import storage_bytes_estimate
+from repro.core.templates import MAX_TEMPLATES
+from repro.matrix import COOMatrix
+from repro.synth import generators as g
+
+
+class TestBuilderBasics:
+    def test_pure_block_matrix_needs_few_templates(self, block_diag_coo):
+        hist = analyze_local_patterns(block_diag_coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        assert result.total_padding == 0
+        # The dominant full-block pattern is decomposed by 4 aligned
+        # templates; the rest is coverage patching.
+        table = DecompositionTable(result.portfolio)
+        assert table.padding(full_mask(4)) == 0
+
+    def test_antidiag_matrix_picks_antidiag_templates(self):
+        coo = g.anti_diagonal_stripes(128, (0, 33), fill=1.0, seed=0)
+        hist = analyze_local_patterns(coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        masks = set(m for m in result.portfolio.masks)
+        top = int(hist.patterns[0])
+        # Some selected template must exactly cover the top pattern's
+        # anti-diagonal.
+        assert any(top & ~m == 0 for m in masks)
+
+    def test_portfolio_always_covers_grid(self, small_coo):
+        hist = analyze_local_patterns(small_coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        union = 0
+        for mask in result.portfolio.masks:
+            union |= mask
+        assert union == full_mask(4)
+
+    def test_respects_budget(self, small_coo):
+        hist = analyze_local_patterns(small_coo)
+        result = GreedyPortfolioBuilder(n_templates=8).build(hist)
+        assert len(result.portfolio) <= 8
+
+    def test_gains_positive(self, small_coo):
+        # Every greedy round must strictly reduce the relaxed padding.
+        hist = analyze_local_patterns(small_coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        assert result.gains
+        assert all(gain > 0 for gain in result.gains)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            GreedyPortfolioBuilder(n_templates=0)
+        with pytest.raises(ValueError):
+            GreedyPortfolioBuilder(n_templates=MAX_TEMPLATES + 1)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            GreedyPortfolioBuilder(pool=[])
+
+    def test_rejects_k_mismatch(self, small_coo):
+        hist = analyze_local_patterns(small_coo, k=2)
+        with pytest.raises(ValueError):
+            GreedyPortfolioBuilder(k=4).build(hist)
+
+    def test_custom_pool(self):
+        coo = g.diagonal_stripes(64, (0,), fill=1.0, seed=0)
+        hist = analyze_local_patterns(coo)
+        pool = [diag_mask(s, 4) for s in range(4)] + [
+            row_mask(r, 4) for r in range(4)
+        ]
+        result = GreedyPortfolioBuilder(pool=pool).build(hist)
+        assert diag_mask(0, 4) in result.portfolio.masks
+
+    def test_result_dataclass(self, small_coo):
+        hist = analyze_local_patterns(small_coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        assert isinstance(result, GreedyBuildResult)
+        assert result.total_padding >= 0
+
+
+class TestQuality:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: g.banded(128, 2, fill=0.8, seed=1),
+            lambda: g.anti_diagonal_stripes(128, (0, 21), fill=0.9,
+                                            seed=2),
+            lambda: g.block_diagonal(24, 4, fill=0.7, seed=3),
+        ],
+    )
+    def test_combined_never_worse_than_candidate_selection(self, make):
+        from repro.core.dynamic import select_portfolio_dynamic
+
+        coo = make()
+        hist = analyze_local_patterns(coo)
+        selection = select_portfolio(hist)
+        candidate_bytes = storage_bytes_estimate(
+            hist, selection.portfolio
+        )
+        combined = select_portfolio_dynamic(hist)
+        assert storage_bytes_estimate(hist, combined) <= candidate_bytes
+
+    def test_fixed_length_templates_only(self, small_coo):
+        hist = analyze_local_patterns(small_coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        assert all(popcount(m) == 4 for m in result.portfolio.masks)
+
+    def test_encodable_and_correct(self, rng, small_coo, small_dense):
+        from repro.core import encode_spasm
+
+        hist = analyze_local_patterns(small_coo)
+        result = GreedyPortfolioBuilder().build(hist)
+        spasm = encode_spasm(small_coo, result.portfolio, 16)
+        x = rng.random(32)
+        assert np.allclose(spasm.spmv(x), small_dense @ x)
+        assert spasm.padding == result.total_padding
+
+
+class TestCoverCountArray:
+    def test_matches_padding(self):
+        from repro.core.templates import candidate_portfolios
+
+        portfolio = candidate_portfolios()[0]
+        table = DecompositionTable(portfolio)
+        counts = table.cover_count_array()
+        rng = np.random.default_rng(4)
+        for __ in range(50):
+            p = int(rng.integers(1, 1 << 16))
+            assert table.padding(p) == 4 * int(counts[p]) - popcount(p)
+
+    def test_sentinel_for_uncoverable(self):
+        table = DecompositionTable([row_mask(0, 4)], k=4)
+        counts = table.cover_count_array(sentinel=99)
+        assert counts[1 << 15] == 99
+        assert counts[0] == 0

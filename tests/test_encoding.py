@@ -1,0 +1,126 @@
+"""Tests for the 32-bit position encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    MAX_SUBMATRIX_INDEX,
+    MAX_TILE_SIZE,
+    EncodingError,
+    PositionEncoding,
+    pack_position,
+    pack_position_array,
+    unpack_position,
+    unpack_position_array,
+)
+
+
+class TestScalarRoundtrip:
+    @given(
+        st.integers(0, MAX_SUBMATRIX_INDEX),
+        st.integers(0, MAX_SUBMATRIX_INDEX),
+        st.booleans(),
+        st.booleans(),
+        st.integers(0, 15),
+    )
+    def test_roundtrip(self, c_idx, r_idx, ce, re, t_idx):
+        word = pack_position(c_idx, r_idx, ce, re, t_idx)
+        assert 0 <= word < (1 << 32)
+        decoded = unpack_position(word)
+        assert decoded == PositionEncoding(c_idx, r_idx, ce, re, t_idx)
+
+    def test_fields_do_not_collide(self):
+        # Extremes of each field leave the others untouched.
+        word = pack_position(MAX_SUBMATRIX_INDEX, 0, False, False, 0)
+        decoded = unpack_position(word)
+        assert decoded.r_idx == 0 and decoded.t_idx == 0
+        word = pack_position(0, 0, False, False, 15)
+        assert unpack_position(word).c_idx == 0
+
+    def test_word_is_32bit(self):
+        word = pack_position(
+            MAX_SUBMATRIX_INDEX, MAX_SUBMATRIX_INDEX, True, True, 15
+        )
+        assert word < (1 << 32)
+
+    def test_max_tile_size_constant(self):
+        assert MAX_TILE_SIZE == 2**13 * 4 == 32768
+
+
+class TestScalarErrors:
+    def test_c_idx_overflow(self):
+        with pytest.raises(EncodingError):
+            pack_position(MAX_SUBMATRIX_INDEX + 1, 0, False, False, 0)
+
+    def test_r_idx_overflow(self):
+        with pytest.raises(EncodingError):
+            pack_position(0, MAX_SUBMATRIX_INDEX + 1, False, False, 0)
+
+    def test_t_idx_overflow(self):
+        with pytest.raises(EncodingError):
+            pack_position(0, 0, False, False, 16)
+
+    def test_negative(self):
+        with pytest.raises(EncodingError):
+            pack_position(-1, 0, False, False, 0)
+
+    def test_unpack_rejects_wide_word(self):
+        with pytest.raises(EncodingError):
+            unpack_position(1 << 32)
+
+
+class TestArrayForms:
+    def test_array_matches_scalar(self, rng):
+        n = 100
+        c = rng.integers(0, MAX_SUBMATRIX_INDEX + 1, n)
+        r = rng.integers(0, MAX_SUBMATRIX_INDEX + 1, n)
+        ce = rng.random(n) < 0.5
+        re = rng.random(n) < 0.5
+        t = rng.integers(0, 16, n)
+        words = pack_position_array(c, r, ce, re, t)
+        assert words.dtype == np.uint32
+        for i in range(0, n, 17):
+            assert int(words[i]) == pack_position(
+                int(c[i]), int(r[i]), bool(ce[i]), bool(re[i]), int(t[i])
+            )
+
+    def test_unpack_array(self, rng):
+        n = 50
+        c = rng.integers(0, MAX_SUBMATRIX_INDEX + 1, n)
+        r = rng.integers(0, MAX_SUBMATRIX_INDEX + 1, n)
+        ce = rng.random(n) < 0.5
+        re = rng.random(n) < 0.5
+        t = rng.integers(0, 16, n)
+        fields = unpack_position_array(pack_position_array(c, r, ce, re, t))
+        assert np.array_equal(fields["c_idx"], c)
+        assert np.array_equal(fields["r_idx"], r)
+        assert np.array_equal(fields["ce"], ce)
+        assert np.array_equal(fields["re"], re)
+        assert np.array_equal(fields["t_idx"], t)
+
+    def test_array_range_errors(self):
+        with pytest.raises(EncodingError):
+            pack_position_array(
+                np.array([MAX_SUBMATRIX_INDEX + 1]),
+                np.array([0]),
+                np.array([False]),
+                np.array([False]),
+                np.array([0]),
+            )
+        with pytest.raises(EncodingError):
+            pack_position_array(
+                np.array([0]),
+                np.array([0]),
+                np.array([False]),
+                np.array([False]),
+                np.array([16]),
+            )
+
+    def test_empty_arrays(self):
+        words = pack_position_array(
+            np.array([]), np.array([]), np.array([]), np.array([]),
+            np.array([]),
+        )
+        assert words.size == 0

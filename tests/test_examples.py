@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example asserts its own numerical checks internally, so a clean
+exit is a real end-to-end guarantee, not just an import check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "fem_cg_solver.py",
+        "graph_pagerank.py",
+        "codesign_exploration.py",
+        "advanced_tuning.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,118 @@
+"""Equivalence tests: vectorized fast simulator vs the event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_portfolios, encode_spasm
+from repro.hw import DEFAULT_CONFIGS, SPASM_3_2, SPASM_4_1, SpasmAccelerator
+from repro.synth import generators as g
+from repro.synth import load_workload
+from tests.conftest import random_structured_coo
+
+
+def both(coo, config, tile_size=32, portfolio_idx=0, seed=5, y0=None):
+    portfolio = candidate_portfolios()[portfolio_idx]
+    spasm = encode_spasm(coo, portfolio, tile_size)
+    rng = np.random.default_rng(seed)
+    x = rng.random(coo.shape[1])
+    acc = SpasmAccelerator(config)
+    return (
+        acc.run(spasm, x, y0, engine="event"),
+        acc.run(spasm, x, y0, engine="fast"),
+        coo,
+        x,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("kind", ["mixed", "blocks", "scatter"])
+    def test_numeric_equality(self, rng, kind):
+        coo = random_structured_coo(rng, 96, kind)
+        event, fast, __, __ = both(coo, SPASM_4_1)
+        assert np.allclose(event.y, fast.y)
+
+    @pytest.mark.parametrize("config", DEFAULT_CONFIGS,
+                             ids=lambda c: c.name)
+    def test_counters_match(self, rng, config):
+        coo = random_structured_coo(rng, 96, "mixed")
+        event, fast, __, __ = both(coo, config)
+        assert np.array_equal(
+            event.pe_groups_executed, fast.pe_groups_executed
+        )
+        assert event.cycles == pytest.approx(fast.cycles)
+        assert event.gflops == pytest.approx(fast.gflops)
+        assert event.bottleneck == fast.bottleneck
+
+    @pytest.mark.parametrize("config", DEFAULT_CONFIGS,
+                             ids=lambda c: c.name)
+    def test_hbm_bytes_match(self, rng, config):
+        coo = random_structured_coo(rng, 96, "mixed")
+        event, fast, __, __ = both(coo, config)
+        assert event.hbm_bytes == fast.hbm_bytes
+
+    def test_with_initial_y(self, rng):
+        coo = random_structured_coo(rng, 64, "mixed")
+        y0 = rng.random(64)
+        event, fast, __, __ = both(coo, SPASM_3_2, y0=y0)
+        assert np.allclose(event.y, fast.y)
+
+    def test_unaligned_edges(self, rng):
+        from repro.matrix import COOMatrix
+
+        dense = np.where(rng.random((67, 53)) < 0.1, 1.0, 0.0)
+        dense[66, 52] = 1.0
+        coo = COOMatrix.from_dense(dense)
+        event, fast, __, x = both(coo, SPASM_4_1, tile_size=16)
+        assert np.allclose(event.y, fast.y)
+        assert event.hbm_bytes == fast.hbm_bytes
+        assert np.allclose(fast.y, dense @ x)
+
+    def test_structured_workload(self):
+        coo = load_workload("t2em", scale=0.1)
+        event, fast, __, __ = both(coo, SPASM_3_2, tile_size=256)
+        assert np.allclose(event.y, fast.y)
+        assert event.hbm_bytes == fast.hbm_bytes
+
+    def test_empty_matrix(self):
+        from repro.matrix import COOMatrix
+
+        coo = COOMatrix([], [], [], (16, 16))
+        event, fast, __, __ = both(coo, SPASM_4_1, tile_size=16)
+        assert np.allclose(event.y, fast.y)
+        assert event.hbm_bytes == fast.hbm_bytes == 0
+
+    def test_different_portfolios(self, rng):
+        coo = random_structured_coo(rng, 64, "mixed")
+        for idx in (1, 4, 7):
+            event, fast, __, __ = both(coo, SPASM_4_1, portfolio_idx=idx)
+            assert np.allclose(event.y, fast.y), idx
+
+    def test_rejects_unknown_engine(self, rng):
+        coo = random_structured_coo(rng, 32, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 16)
+        with pytest.raises(ValueError):
+            SpasmAccelerator(SPASM_4_1).run(
+                spasm, np.ones(32), engine="quantum"
+            )
+
+    def test_fast_rejects_bad_shapes(self, rng):
+        coo = random_structured_coo(rng, 32, "mixed")
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 16)
+        acc = SpasmAccelerator(SPASM_4_1)
+        with pytest.raises(ValueError):
+            acc.run(spasm, np.ones(5), engine="fast")
+        with pytest.raises(ValueError):
+            acc.run(spasm, np.ones(32), np.ones(5), engine="fast")
+
+
+class TestFastScale:
+    def test_handles_suite_scale_quickly(self):
+        # The fast engine must chew through a full-scale suite matrix;
+        # the event engine would take minutes here.
+        coo = g.banded(8000, 6, fill=0.8, seed=0)
+        event_free = SpasmAccelerator(SPASM_4_1)
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 512)
+        x = np.ones(8000)
+        result = event_free.run(spasm, x, engine="fast")
+        assert np.allclose(result.y, coo.spmv(x))
+        assert result.pe_groups_executed.sum() == spasm.n_groups

@@ -1,0 +1,130 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import COOMatrix, MatrixShapeError
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix([0, 1], [1, 0], [2.0, 3.0], (2, 2))
+        assert m.shape == (2, 2)
+        assert m.nnz == 2
+
+    def test_shape_inferred(self):
+        m = COOMatrix([0, 4], [1, 2], [1.0, 1.0])
+        assert m.shape == (5, 3)
+
+    def test_empty(self):
+        m = COOMatrix([], [], [], (3, 3))
+        assert m.nnz == 0
+        assert m.to_dense().shape == (3, 3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MatrixShapeError):
+            COOMatrix([0, 1], [0], [1.0, 2.0], (2, 2))
+
+    def test_rejects_negative_coords(self):
+        with pytest.raises(MatrixShapeError):
+            COOMatrix([-1], [0], [1.0], (2, 2))
+
+    def test_rejects_out_of_shape(self):
+        with pytest.raises(MatrixShapeError):
+            COOMatrix([2], [0], [1.0], (2, 2))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MatrixShapeError):
+            COOMatrix([0], [0], [1.0], (2, 2, 2))
+
+    def test_duplicates_summed(self):
+        m = COOMatrix([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        assert m.nnz == 1
+        assert m.vals[0] == 3.0
+
+    def test_entries_sorted_row_major(self):
+        m = COOMatrix([1, 0, 0], [0, 1, 0], [1.0, 2.0, 3.0], (2, 2))
+        assert m.rows.tolist() == [0, 0, 1]
+        assert m.cols.tolist() == [0, 1, 0]
+        assert m.vals.tolist() == [3.0, 2.0, 1.0]
+
+
+class TestDenseRoundtrip:
+    def test_from_dense_roundtrip(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(m.to_dense(), small_dense)
+
+    def test_from_dense_drops_zeros(self):
+        dense = np.array([[0.0, 1.0], [0.0, 0.0]])
+        m = COOMatrix.from_dense(dense)
+        assert m.nnz == 1
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(MatrixShapeError):
+            COOMatrix.from_dense(np.ones(4))
+
+
+class TestSpmv:
+    def test_matches_dense(self, small_dense, rng):
+        m = COOMatrix.from_dense(small_dense)
+        x = rng.random(32)
+        assert np.allclose(m.spmv(x), small_dense @ x)
+
+    def test_accumulates_into_y(self, small_dense, rng):
+        m = COOMatrix.from_dense(small_dense)
+        x = rng.random(32)
+        y0 = rng.random(32)
+        assert np.allclose(m.spmv(x, y0), small_dense @ x + y0)
+
+    def test_does_not_mutate_y(self, small_coo, rng):
+        x = rng.random(32)
+        y0 = np.ones(32)
+        small_coo.spmv(x, y0)
+        assert np.array_equal(y0, np.ones(32))
+
+    def test_rejects_wrong_x(self, small_coo):
+        with pytest.raises(MatrixShapeError):
+            small_coo.spmv(np.ones(5))
+
+    def test_rejects_wrong_y(self, small_coo):
+        with pytest.raises(MatrixShapeError):
+            small_coo.spmv(np.ones(32), np.ones(5))
+
+    def test_rectangular(self, rng):
+        dense = np.where(rng.random((8, 20)) < 0.3, 1.0, 0.0)
+        m = COOMatrix.from_dense(dense)
+        x = rng.random(20)
+        assert np.allclose(m.spmv(x), dense @ x)
+
+
+class TestOperations:
+    def test_transpose(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(m.transpose().to_dense(), small_dense.T)
+
+    def test_scaled(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.allclose(m.scaled(2.5).to_dense(), 2.5 * small_dense)
+
+    def test_prune(self):
+        m = COOMatrix([0, 1], [0, 1], [0.0, 2.0], (2, 2), dedup=False)
+        assert m.prune().nnz == 1
+
+    def test_density(self):
+        m = COOMatrix([0], [0], [1.0], (2, 2))
+        assert m.density == 0.25
+
+    def test_storage_bytes(self):
+        m = COOMatrix([0, 1], [0, 1], [1.0, 2.0], (2, 2))
+        assert m.storage_bytes() == 2 * 12
+
+    def test_equality(self):
+        a = COOMatrix([0], [0], [1.0], (2, 2))
+        b = COOMatrix([0], [0], [1.0], (2, 2))
+        c = COOMatrix([0], [1], [1.0], (2, 2))
+        assert a == b
+        assert a != c
+
+    def test_repr(self, small_coo):
+        assert "COOMatrix" in repr(small_coo)
+        assert str(small_coo.nnz) in repr(small_coo)

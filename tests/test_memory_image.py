@@ -1,0 +1,121 @@
+"""Tests for the byte-level HBM memory images."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_portfolios, encode_spasm
+from repro.core.encoding import unpack_position
+from repro.hw.configs import SPASM_3_2, SPASM_4_1
+from repro.hw.memory_image import pack_images, unpack_images
+from repro.hw.perf_model import assign_tiles
+from repro.matrix import COOMatrix
+from tests.conftest import random_structured_coo
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    return candidate_portfolios()[0]
+
+
+def make(rng, portfolio, config=SPASM_4_1, n=96, tile=32):
+    coo = random_structured_coo(rng, n, "mixed")
+    spasm = encode_spasm(coo, portfolio, tile)
+    return coo, spasm, pack_images(spasm, config)
+
+
+class TestPack:
+    def test_channel_inventory(self, rng, portfolio):
+        __, __, image = make(rng, portfolio, SPASM_4_1)
+        assert len(image.value_images) == 4 * 4  # 4 groups x 4 channels
+        assert len(image.position_images) == 4 * 2
+
+    def test_byte_sizes(self, rng, portfolio):
+        __, spasm, image = make(rng, portfolio)
+        total_value = sum(
+            len(img) for img in image.value_images.values()
+        )
+        total_pos = sum(
+            len(img) for img in image.position_images.values()
+        )
+        assert total_value == spasm.n_groups * 16  # 4 x float32
+        assert total_pos == spasm.n_groups * 4
+        assert image.total_bytes == total_value + total_pos
+
+    def test_descriptors_cover_all_tiles(self, rng, portfolio):
+        __, spasm, image = make(rng, portfolio)
+        n_desc = sum(len(d) for d in image.descriptors)
+        assert n_desc == spasm.n_tiles
+        groups = sum(
+            n for desc in image.descriptors for __, __, n in desc
+        )
+        assert groups == spasm.n_groups
+
+    def test_descriptors_match_schedule(self, rng, portfolio):
+        __, spasm, image = make(rng, portfolio)
+        owner = assign_tiles(
+            spasm.groups_per_tile(), SPASM_4_1.num_pes
+        )
+        for t, tile in enumerate(spasm.tiles()):
+            pe = int(owner[t])
+            assert (
+                tile.tile_row, tile.tile_col, tile.n_groups
+            ) in image.descriptors[pe]
+
+
+class TestUnpackRoundtrip:
+    def test_words_roundtrip(self, rng, portfolio):
+        __, spasm, image = make(rng, portfolio)
+        pe_words, __ = unpack_images(image)
+        unpacked = sorted(
+            int(w) for words in pe_words for w in words
+        )
+        # CE/RE flags are per-stream; the multiset of words matches.
+        assert len(unpacked) == spasm.n_groups
+
+    def test_values_roundtrip_float32(self, rng, portfolio):
+        __, spasm, image = make(rng, portfolio)
+        __, pe_values = unpack_images(image)
+        total = np.concatenate([v.ravel() for v in pe_values])
+        original = spasm.values.astype(np.float32).ravel()
+        assert sorted(total.tolist()) == sorted(original.tolist())
+
+    def test_streams_recompute_spmv(self, rng, portfolio):
+        # Execute the unpacked per-PE streams through raw position
+        # decoding and template expansion: the y vector must match.
+        coo, spasm, image = make(rng, portfolio, n=64, tile=16)
+        pe_words, pe_values = unpack_images(image)
+        x = rng.random(64)
+        y = np.zeros(64 + spasm.tile_size)
+        x_pad = np.zeros(64 + spasm.tile_size)
+        x_pad[:64] = x
+        cells = {
+            t_idx: portfolio.templates[t_idx].cells()
+            for t_idx in range(len(portfolio))
+        }
+        for pe, descriptor in enumerate(image.descriptors):
+            cursor = 0
+            for tile_row, tile_col, n_groups in descriptor:
+                for g in range(cursor, cursor + n_groups):
+                    pos = unpack_position(int(pe_words[pe][g]))
+                    vals = pe_values[pe][g]
+                    for lane, (r, c) in enumerate(cells[pos.t_idx]):
+                        row = tile_row * spasm.tile_size + pos.r_idx * 4 + r
+                        col = tile_col * spasm.tile_size + pos.c_idx * 4 + c
+                        y[row] += float(vals[lane]) * x_pad[col]
+                cursor += n_groups
+        assert np.allclose(y[:64], coo.spmv(x), rtol=1e-6, atol=1e-6)
+
+    def test_other_config(self, rng, portfolio):
+        coo, spasm, image = make(rng, portfolio, config=SPASM_3_2)
+        pe_words, pe_values = unpack_images(image)
+        assert len(pe_words) == SPASM_3_2.num_pes
+        assert sum(w.size for w in pe_words) == spasm.n_groups
+
+    def test_empty_matrix(self, portfolio):
+        spasm = encode_spasm(
+            COOMatrix([], [], [], (16, 16)), portfolio, 16
+        )
+        image = pack_images(spasm, SPASM_4_1)
+        assert image.total_bytes == 0
+        pe_words, pe_values = unpack_images(image)
+        assert all(w.size == 0 for w in pe_words)

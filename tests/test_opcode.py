@@ -1,0 +1,130 @@
+"""Tests for the 30-bit VALU opcodes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmask import coords_from_mask
+from repro.core.templates import candidate_portfolios, template_universe
+from repro.hw.opcode import (
+    OPCODE_BITS,
+    Opcode,
+    OpcodeError,
+    decode_opcode,
+    encode_opcode,
+    opcode_for_template,
+    opcode_table,
+)
+
+
+def reference_routing(mask, values, x_segment):
+    """Direct computation of what a template group must produce."""
+    out = [0.0] * 4
+    for lane, (r, c) in enumerate(coords_from_mask(mask, 4)):
+        out[r] += values[lane] * x_segment[c]
+    return out
+
+
+class TestPackUnpack:
+    @given(
+        st.tuples(*[st.integers(0, 3)] * 4),
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        st.tuples(*[st.integers(0, 7)] * 4),
+    )
+    def test_roundtrip(self, mul_sel, a0_sel, a1_sel, out_sel):
+        opcode = Opcode(mul_sel, a0_sel, a1_sel, out_sel)
+        word = encode_opcode(opcode)
+        assert 0 <= word < (1 << OPCODE_BITS)
+        assert decode_opcode(word) == opcode
+
+    def test_width_is_30_bits(self):
+        opcode = Opcode((3, 3, 3, 3), (3, 3), (4, 4), (7, 7, 7, 7))
+        assert encode_opcode(opcode) < (1 << 30)
+
+    def test_pack_method(self):
+        opcode = Opcode((0, 1, 2, 3), (0, 1), (2, 3), (1, 2, 3, 4))
+        assert decode_opcode(opcode.pack()) == opcode
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(OpcodeError):
+            encode_opcode(Opcode((4, 0, 0, 0), (0, 0), (0, 0), (0,) * 4))
+        with pytest.raises(OpcodeError):
+            encode_opcode(Opcode((0,) * 4, (4, 0), (0, 0), (0,) * 4))
+        with pytest.raises(OpcodeError):
+            encode_opcode(Opcode((0,) * 4, (0, 0), (5, 0), (0,) * 4))
+        with pytest.raises(OpcodeError):
+            encode_opcode(Opcode((0,) * 4, (0, 0), (0, 0), (8, 0, 0, 0)))
+
+    def test_decode_rejects_wide_word(self):
+        with pytest.raises(OpcodeError):
+            decode_opcode(1 << 30)
+
+    def test_decode_rejects_bad_a1_operand(self):
+        # a1 operand select of 5 is outside {m0..m3, a0}.
+        word = 5 << 12
+        with pytest.raises(OpcodeError):
+            decode_opcode(word)
+
+
+class TestTemplateRouting:
+    def test_mul_sel_is_cell_column(self):
+        for portfolio in candidate_portfolios()[:3]:
+            for mask in portfolio.masks:
+                opcode = opcode_for_template(mask)
+                cols = [c for __, c in coords_from_mask(mask, 4)]
+                assert list(opcode.mul_sel) == cols
+
+    def test_rejects_wrong_cell_count(self):
+        with pytest.raises(OpcodeError):
+            opcode_for_template(0b111)  # 3 cells
+
+    def test_rejects_non_default_k(self):
+        with pytest.raises(OpcodeError):
+            opcode_for_template(0b11, k=2)
+
+    def test_row_template_sums_to_one_lane(self):
+        from repro.core.bitmask import row_mask
+        from repro.hw.opcode import NODE_A2, NODE_ZERO
+
+        opcode = opcode_for_template(row_mask(2, 4))
+        assert opcode.out_sel[2] == NODE_A2
+        assert all(
+            opcode.out_sel[r] == NODE_ZERO for r in (0, 1, 3)
+        )
+
+    def test_column_template_uses_no_adders(self):
+        from repro.core.bitmask import col_mask
+        from repro.hw.opcode import NODE_M0
+
+        opcode = opcode_for_template(col_mask(1, 4))
+        assert list(opcode.out_sel) == [
+            NODE_M0, NODE_M0 + 1, NODE_M0 + 2, NODE_M0 + 3,
+        ]
+
+    def test_block_template_uses_both_pair_adders(self):
+        from repro.core.bitmask import block_mask
+        from repro.hw.opcode import NODE_A0, NODE_A1, NODE_ZERO
+
+        opcode = opcode_for_template(block_mask(0, 0, 2, 2, 4))
+        assert opcode.out_sel[0] == NODE_A0
+        assert opcode.out_sel[1] == NODE_A1
+        assert opcode.out_sel[2] == NODE_ZERO
+
+
+class TestOpcodeTable:
+    def test_one_opcode_per_template(self):
+        portfolio = candidate_portfolios()[0]
+        table = opcode_table(portfolio)
+        assert len(table) == len(portfolio)
+        assert all(0 <= w < (1 << 30) for w in table)
+
+    def test_whole_universe_routable(self):
+        # Every one of the 1820 possible templates must be expressible
+        # in 30 bits — the claim behind the flexible pattern portfolio.
+        count = 0
+        for mask in template_universe(4):
+            opcode = opcode_for_template(mask)
+            assert encode_opcode(opcode) < (1 << 30)
+            count += 1
+        assert count == 1820

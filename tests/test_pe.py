@@ -1,0 +1,143 @@
+"""Tests for the PE and PE-group functional models."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_portfolios, encode_spasm
+from repro.core.encoding import pack_position
+from repro.hw.configs import SPASM_3_2
+from repro.hw.hbm import HBMSystem
+from repro.hw.opcode import opcode_table
+from repro.hw.pe import PE, TILE_SWITCH_CYCLES
+from repro.hw.pe_group import PEGroup
+from tests.conftest import random_structured_coo
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    return candidate_portfolios()[0]
+
+
+@pytest.fixture(scope="module")
+def lut(portfolio):
+    return opcode_table(portfolio)
+
+
+class TestPE:
+    def test_process_group_row_template(self, portfolio, lut):
+        # Portfolio-0 t_idx 0 is RW0 (row 0).
+        pe = PE(0, lut, tile_size=16)
+        pe.prefetch_x(np.array([1.0, 2.0, 3.0, 4.0]))
+        pe.switch_x()
+        word = pack_position(c_idx=0, r_idx=0, ce=False, re=False, t_idx=0)
+        pe.process_group(word, np.array([1.0, 1.0, 1.0, 1.0]))
+        assert pe.psum[0] == pytest.approx(10.0)
+        assert pe.psum[1:].sum() == 0.0
+
+    def test_c_idx_selects_x_segment(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=16)
+        x = np.zeros(16)
+        x[4:8] = [1.0, 2.0, 3.0, 4.0]
+        pe.prefetch_x(x)
+        pe.switch_x()
+        word = pack_position(c_idx=1, r_idx=0, ce=False, re=False, t_idx=0)
+        pe.process_group(word, np.ones(4))
+        assert pe.psum[0] == pytest.approx(10.0)
+
+    def test_r_idx_selects_psum_slot(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=16)
+        pe.prefetch_x(np.ones(16))
+        pe.switch_x()
+        word = pack_position(c_idx=0, r_idx=2, ce=False, re=False, t_idx=0)
+        pe.process_group(word, np.ones(4))
+        assert pe.psum[8] == pytest.approx(4.0)
+
+    def test_double_buffering(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=8)
+        pe.prefetch_x(np.ones(8))
+        pe.switch_x()
+        pe.prefetch_x(np.full(8, 2.0))  # shadow buffer
+        assert pe.x_buffer[0] == 1.0  # active unchanged
+        pe.switch_x()
+        assert pe.x_buffer[0] == 2.0
+
+    def test_prefetch_rejects_oversized(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=8)
+        with pytest.raises(ValueError):
+            pe.prefetch_x(np.ones(9))
+
+    def test_flush_psum(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=8)
+        pe.psum[:] = 3.0
+        y = np.zeros(32)
+        pe.flush_psum(y, 8)
+        assert np.all(y[8:16] == 3.0)
+        assert np.all(pe.psum == 0.0)
+        assert pe.stats.flushes == 1
+
+    def test_flush_clips_at_matrix_edge(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=8)
+        pe.psum[:] = 1.0
+        y = np.zeros(10)
+        pe.flush_psum(y, 8)
+        assert np.all(y[8:] == 1.0)
+
+    def test_stats_accounting(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=16)
+        pe.prefetch_x(np.ones(16))
+        pe.switch_x()
+        word = pack_position(0, 0, False, False, 0)
+        pe.process_group(word, np.ones(4))
+        pe.process_group(word, np.ones(4))
+        assert pe.stats.groups == 2
+        assert pe.stats.value_bytes == 2 * 16
+        assert pe.stats.position_bytes == 2 * 4
+        assert pe.stats.x_bytes == 16 * 4
+
+    def test_compute_cycles_include_tile_switch(self, portfolio, lut):
+        pe = PE(0, lut, tile_size=16)
+        pe.stats.groups = 10
+        pe.stats.tiles = 2
+        assert pe.stats.compute_cycles == 10 + 2 * TILE_SWITCH_CYCLES
+
+    def test_process_tile(self, rng, portfolio):
+        coo = random_structured_coo(rng, 32, "blocks")
+        spasm = encode_spasm(coo, portfolio, 32)
+        pe = PE(0, opcode_table(portfolio), tile_size=32)
+        tile = next(spasm.tiles())
+        pe.process_tile(tile, np.ones(32))
+        assert pe.stats.tiles == 1
+        assert pe.stats.groups == tile.n_groups
+
+
+class TestPEGroup:
+    def test_sixteen_pes(self, lut):
+        group = PEGroup(0, lut, tile_size=16)
+        assert len(group) == 16
+        assert [pe.pe_id for pe in group][:3] == [0, 1, 2]
+
+    def test_second_group_ids(self, lut):
+        group = PEGroup(1, lut, tile_size=16)
+        assert [pe.pe_id for pe in group][0] == 16
+
+    def test_charge_channels(self, lut):
+        group = PEGroup(0, lut, tile_size=16)
+        for pe in group:
+            pe.stats.value_bytes = 64
+            pe.stats.position_bytes = 16
+            pe.stats.x_bytes = 32
+        hbm = HBMSystem(SPASM_3_2)
+        group.charge_channels(hbm, SPASM_3_2)
+        # 4 PEs x 64 B per value channel.
+        assert hbm["g0.value0"].bytes_served == 256
+        # 16 PEs x 16 B split over 2 position channels.
+        assert hbm["g0.pos0"].bytes_served == 128
+        # 16 PEs x 32 B split over 2 x channels.
+        assert hbm["g0.xvec0"].bytes_served == 256
+
+    def test_group_aggregates(self, lut):
+        group = PEGroup(0, lut, tile_size=16)
+        for i, pe in enumerate(group):
+            pe.stats.groups = i
+        assert group.total_groups == sum(range(16))
+        assert group.compute_cycles == 15

@@ -1,0 +1,59 @@
+"""Tests for the power and energy models (Table VII)."""
+
+import pytest
+
+from repro.hw.configs import DEFAULT_CONFIGS, SPASM_3_2, SPASM_3_4, SPASM_4_1
+from repro.hw.power import (
+    PLATFORM_POWER,
+    energy_efficiency,
+    platform_power,
+    spasm_power,
+)
+
+
+class TestPlatformPower:
+    def test_table_vii_constants(self):
+        assert platform_power("RTX 3090") == 333.0
+        assert platform_power("HiSparse") == 45.0
+        assert platform_power("Serpens_a16") == 48.0
+        assert platform_power("Serpens_a24") == 48.0
+
+    def test_spasm_requires_config(self):
+        with pytest.raises(ValueError):
+            platform_power("SPASM")
+
+    def test_spasm_average_near_58w(self):
+        # Table VII reports 58 W average for SPASM.
+        avg = sum(spasm_power(c) for c in DEFAULT_CONFIGS) / 3
+        assert avg == pytest.approx(58.0, abs=3.0)
+
+    def test_spasm_scales_with_channels(self):
+        assert spasm_power(SPASM_3_4) > spasm_power(SPASM_4_1)
+        assert spasm_power(SPASM_4_1) > spasm_power(SPASM_3_2)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            platform_power("TPU")
+
+    def test_dispatch_via_name(self):
+        assert platform_power("SPASM_4_1", SPASM_4_1) == spasm_power(
+            SPASM_4_1
+        )
+
+
+class TestEnergyEfficiency:
+    def test_formula(self):
+        assert energy_efficiency(100.0, 50.0) == 2.0
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ValueError):
+            energy_efficiency(1.0, 0.0)
+
+    def test_paper_ordering_possible(self):
+        # With the paper's throughput numbers, the Table VII ordering
+        # SPASM > Serpens > HiSparse > GPU must come out of the formula.
+        gpu = energy_efficiency(76.6, PLATFORM_POWER["RTX 3090"])
+        hisparse = energy_efficiency(16.7, PLATFORM_POWER["HiSparse"])
+        serpens = energy_efficiency(46.6, PLATFORM_POWER["Serpens"])
+        spasm = energy_efficiency(71.9, 58.0)
+        assert spasm > serpens > hisparse > gpu

@@ -1,0 +1,159 @@
+"""Property tests over random portfolios and random matrices.
+
+These stress the invariants the rest of the suite checks on the Table V
+candidates, against *arbitrary* valid portfolios drawn from the
+1820-template universe — the "flexible pattern portfolio" claim of the
+paper's title.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DecompositionTable,
+    analyze_local_patterns,
+    encode_spasm,
+)
+from repro.core.bitmask import full_mask, popcount
+from repro.core.decompose import find_best_decomp
+from repro.core.templates import Portfolio, Template, template_universe
+from repro.hw.opcode import encode_opcode, opcode_for_template
+from repro.hw.valu import VALU, VALUOp
+from repro.matrix import COOMatrix
+
+UNIVERSE = list(template_universe(4))
+
+
+@st.composite
+def random_portfolios(draw, max_extra=12):
+    """A valid random portfolio: random universe templates + coverage.
+
+    Up to ``max_extra`` random templates are drawn; whatever cells stay
+    uncovered are patched with row templates, and duplicates collapse.
+    """
+    from repro.core.templates import row_templates
+
+    count = draw(st.integers(1, max_extra))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(UNIVERSE) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    masks = [UNIVERSE[i] for i in indices]
+    union = 0
+    for m in masks:
+        union |= m
+    for t in row_templates(4):
+        if len(masks) >= 16:
+            break
+        if t.mask & ~union and t.mask not in masks:
+            masks.append(t.mask)
+            union |= t.mask
+    # Ensure full coverage survives the 16-template cap.
+    if union != full_mask(4):
+        masks = [t.mask for t in row_templates(4)] + masks
+        masks = list(dict.fromkeys(masks))[:16]
+    templates = tuple(
+        Template(mask, f"R{i}") for i, mask in enumerate(masks)
+    )
+    return Portfolio(templates, k=4, name="random")
+
+
+@st.composite
+def random_matrices(draw, max_dim=48):
+    n = draw(st.integers(8, max_dim))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random((n, n)) < 0.15, rng.uniform(0.5, 1.5, (n, n)), 0.0
+    )
+    dense[0, 0] = 1.0
+    return COOMatrix.from_dense(dense)
+
+
+class TestPortfolioInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(random_portfolios())
+    def test_all_patterns_coverable(self, portfolio):
+        table = DecompositionTable(portfolio)
+        pads = table.padding_array(np.arange(1, 1 << 16))
+        assert np.all(pads >= 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_portfolios(), st.integers(1, 0xFFFF))
+    def test_table_matches_brute_force(self, portfolio, pattern):
+        table = DecompositionTable(portfolio)
+        __, expected = find_best_decomp(pattern, portfolio.masks)
+        assert table.padding(pattern) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_portfolios())
+    def test_opcodes_route_every_template(self, portfolio):
+        rng = np.random.default_rng(0)
+        valu = VALU()
+        for mask in portfolio.masks:
+            opcode = encode_opcode(opcode_for_template(mask))
+            values = rng.uniform(-2, 2, 4)
+            x_seg = rng.uniform(-2, 2, 4)
+            out = valu.execute(VALUOp(opcode, values, x_seg))
+            expected = np.zeros(4)
+            from repro.core.bitmask import coords_from_mask
+
+            for lane, (r, c) in enumerate(coords_from_mask(mask, 4)):
+                expected[r] += values[lane] * x_seg[c]
+            assert np.allclose(out, expected)
+
+
+class TestEncodingInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(random_portfolios(), random_matrices())
+    def test_roundtrip_any_portfolio(self, portfolio, coo):
+        spasm = encode_spasm(coo, portfolio, 16)
+        assert np.array_equal(
+            spasm.to_coo().to_dense(), coo.to_dense()
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_portfolios(), random_matrices())
+    def test_spmv_any_portfolio(self, portfolio, coo):
+        spasm = encode_spasm(coo, portfolio, 16)
+        rng = np.random.default_rng(1)
+        x = rng.random(coo.shape[1])
+        assert np.allclose(spasm.spmv(x), coo.spmv(x))
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_portfolios(), random_matrices())
+    def test_padding_accounting(self, portfolio, coo):
+        spasm = encode_spasm(coo, portfolio, 16)
+        table = DecompositionTable(portfolio)
+        hist = analyze_local_patterns(coo)
+        assert spasm.padding == table.total_padding(hist)
+        assert spasm.stored_values == spasm.n_groups * 4
+        assert spasm.padding == spasm.stored_values - coo.nnz
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_matrices(), st.sampled_from([16, 32, 64]))
+    def test_tile_size_does_not_change_groups(self, coo, tile_size):
+        from repro.core import candidate_portfolios
+
+        portfolio = candidate_portfolios()[0]
+        a = encode_spasm(coo, portfolio, 16)
+        b = encode_spasm(coo, portfolio, tile_size)
+        assert a.n_groups == b.n_groups
+        assert a.padding == b.padding
+
+
+class TestHistogramInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(random_matrices())
+    def test_nnz_conservation(self, coo):
+        hist = analyze_local_patterns(coo)
+        recovered = int(
+            sum(popcount(p) * f for p, f in hist.items())
+        )
+        assert recovered == coo.nnz

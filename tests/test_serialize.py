@@ -1,0 +1,87 @@
+"""Tests for SPASM matrix persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_portfolios, encode_spasm
+from repro.core.serialize import (
+    SerializationError,
+    load_spasm,
+    save_spasm,
+)
+from tests.conftest import random_structured_coo
+
+
+@pytest.fixture
+def spasm(rng):
+    coo = random_structured_coo(rng, 64, "mixed")
+    return coo, encode_spasm(coo, candidate_portfolios()[3], 32)
+
+
+class TestRoundtrip:
+    def test_payload_identical(self, tmp_path, spasm):
+        coo, original = spasm
+        path = tmp_path / "m.npz"
+        save_spasm(path, original)
+        loaded = load_spasm(path)
+        assert loaded.shape == original.shape
+        assert loaded.k == original.k
+        assert loaded.tile_size == original.tile_size
+        assert loaded.source_nnz == original.source_nnz
+        assert np.array_equal(loaded.words, original.words)
+        assert np.array_equal(loaded.values, original.values)
+        assert np.array_equal(loaded.tile_ptr, original.tile_ptr)
+
+    def test_portfolio_restored(self, tmp_path, spasm):
+        __, original = spasm
+        path = tmp_path / "m.npz"
+        save_spasm(path, original)
+        loaded = load_spasm(path)
+        assert loaded.portfolio.masks == original.portfolio.masks
+        assert loaded.portfolio.name == original.portfolio.name
+        assert [t.kind for t in loaded.portfolio] == [
+            t.kind for t in original.portfolio
+        ]
+
+    def test_loaded_matrix_computes(self, tmp_path, spasm, rng):
+        coo, original = spasm
+        path = tmp_path / "m.npz"
+        save_spasm(path, original)
+        loaded = load_spasm(path)
+        x = rng.random(coo.shape[1])
+        assert np.allclose(loaded.spmv(x), coo.spmv(x))
+
+    def test_loaded_matrix_simulates(self, tmp_path, spasm, rng):
+        from repro.hw import SPASM_4_1, SpasmAccelerator
+
+        coo, original = spasm
+        path = tmp_path / "m.npz"
+        save_spasm(path, original)
+        loaded = load_spasm(path)
+        x = rng.random(coo.shape[1])
+        result = SpasmAccelerator(SPASM_4_1).run(loaded, x)
+        assert np.allclose(result.y, coo.spmv(x))
+
+    def test_empty_matrix(self, tmp_path):
+        from repro.matrix import COOMatrix
+
+        empty = encode_spasm(
+            COOMatrix([], [], [], (16, 16)), candidate_portfolios()[0], 16
+        )
+        path = tmp_path / "empty.npz"
+        save_spasm(path, empty)
+        assert load_spasm(path).n_groups == 0
+
+
+class TestErrors:
+    def test_rejects_random_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(SerializationError):
+            load_spasm(path)
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, magic=np.array("not-spasm"))
+        with pytest.raises(SerializationError):
+            load_spasm(path)

@@ -1,0 +1,133 @@
+"""Tests for the multi-vector (SpMM) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_portfolios, encode_spasm
+from repro.hw.configs import SPASM_4_1
+from repro.hw.perf_model import (
+    estimate_spmm_gflops,
+    perf_breakdown,
+    perf_breakdown_spmm,
+)
+from tests.conftest import random_structured_coo
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    return candidate_portfolios()[0]
+
+
+class TestSpmmSemantics:
+    def test_matches_dense(self, rng, portfolio):
+        coo = random_structured_coo(rng, 64, "mixed")
+        spasm = encode_spasm(coo, portfolio, 32)
+        x_block = rng.random((64, 5))
+        assert np.allclose(
+            spasm.spmm(x_block), coo.to_dense() @ x_block
+        )
+
+    def test_accumulates(self, rng, portfolio):
+        coo = random_structured_coo(rng, 64, "mixed")
+        spasm = encode_spasm(coo, portfolio, 32)
+        x_block = rng.random((64, 3))
+        y0 = rng.random((64, 3))
+        assert np.allclose(
+            spasm.spmm(x_block, y0), coo.to_dense() @ x_block + y0
+        )
+
+    def test_single_column_matches_spmv(self, rng, portfolio):
+        coo = random_structured_coo(rng, 64, "mixed")
+        spasm = encode_spasm(coo, portfolio, 32)
+        x = rng.random(64)
+        assert np.allclose(
+            spasm.spmm(x[:, None])[:, 0], spasm.spmv(x)
+        )
+
+    def test_unaligned_shape(self, rng, portfolio):
+        from repro.matrix import COOMatrix
+
+        dense = np.where(rng.random((67, 67)) < 0.1, 1.0, 0.0)
+        coo = COOMatrix.from_dense(dense)
+        spasm = encode_spasm(coo, portfolio, 16)
+        x_block = rng.random((67, 4))
+        assert np.allclose(spasm.spmm(x_block), dense @ x_block)
+
+    def test_rejects_bad_shapes(self, rng, portfolio):
+        coo = random_structured_coo(rng, 32, "mixed")
+        spasm = encode_spasm(coo, portfolio, 16)
+        with pytest.raises(ValueError):
+            spasm.spmm(np.ones(32))  # 1-D
+        with pytest.raises(ValueError):
+            spasm.spmm(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            spasm.spmm(np.ones((32, 2)), np.ones((32, 3)))
+
+
+class TestAcceleratorSpmm:
+    def test_run_spmm_exact(self, rng, portfolio):
+        from repro.hw import SPASM_4_1, SpasmAccelerator
+
+        coo = random_structured_coo(rng, 64, "mixed")
+        spasm = encode_spasm(coo, portfolio, 32)
+        x_block = rng.random((64, 4))
+        result = SpasmAccelerator(SPASM_4_1).run_spmm(spasm, x_block)
+        assert np.allclose(result.y, coo.to_dense() @ x_block)
+
+    def test_run_spmm_accounting(self, rng, portfolio):
+        from repro.hw import SPASM_4_1, SpasmAccelerator
+
+        coo = random_structured_coo(rng, 64, "mixed")
+        spasm = encode_spasm(coo, portfolio, 32)
+        x_block = rng.random((64, 4))
+        acc = SpasmAccelerator(SPASM_4_1)
+        multi = acc.run_spmm(spasm, x_block)
+        single = acc.run(spasm, x_block[:, 0], engine="fast")
+        # Per-PE work scales with the batch; cycles grow sublinearly
+        # (A-stream amortization).
+        assert multi.pe_groups_executed.sum() == 4 * spasm.n_groups
+        assert multi.cycles < 4 * single.cycles
+        assert multi.cycles >= single.cycles
+
+
+class TestSpmmPerfModel:
+    def make_gc(self, rng, portfolio):
+        coo = random_structured_coo(rng, 256, "mixed")
+        spasm = encode_spasm(coo, portfolio, 64)
+        return coo, spasm.global_composition()
+
+    def test_n1_equals_spmv_model(self, rng, portfolio):
+        __, gc = self.make_gc(rng, portfolio)
+        single = perf_breakdown(gc, SPASM_4_1)
+        multi = perf_breakdown_spmm(gc, SPASM_4_1, 1)
+        assert multi.total_cycles == single.total_cycles
+
+    def test_a_stream_amortized(self, rng, portfolio):
+        __, gc = self.make_gc(rng, portfolio)
+        multi = perf_breakdown_spmm(gc, SPASM_4_1, 8)
+        single = perf_breakdown(gc, SPASM_4_1)
+        assert multi.value_stream_cycles == single.value_stream_cycles
+        assert multi.compute_cycles == 8 * single.compute_cycles
+
+    def test_throughput_grows_with_vectors(self, rng, portfolio):
+        coo, gc = self.make_gc(rng, portfolio)
+        g1 = estimate_spmm_gflops(
+            gc, SPASM_4_1, coo.nnz, coo.shape[0], 1
+        )
+        g8 = estimate_spmm_gflops(
+            gc, SPASM_4_1, coo.nnz, coo.shape[0], 8
+        )
+        assert g8 > g1
+
+    def test_throughput_saturates_below_peak(self, rng, portfolio):
+        coo, gc = self.make_gc(rng, portfolio)
+        for n in (1, 4, 16, 64):
+            gf = estimate_spmm_gflops(
+                gc, SPASM_4_1, coo.nnz, coo.shape[0], n
+            )
+            assert gf <= SPASM_4_1.peak_gflops * 1.001
+
+    def test_rejects_bad_vector_count(self, rng, portfolio):
+        __, gc = self.make_gc(rng, portfolio)
+        with pytest.raises(ValueError):
+            perf_breakdown_spmm(gc, SPASM_4_1, 0)

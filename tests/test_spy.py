@@ -1,0 +1,72 @@
+"""Tests for the ASCII spy plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spy import DEFAULT_RAMP, spy, spy_with_border
+from repro.matrix import COOMatrix
+from repro.synth import generators as g
+
+
+class TestSpy:
+    def test_dimensions(self):
+        coo = COOMatrix.from_dense(np.eye(64))
+        text = spy(coo, width=10, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 10 for line in lines)
+
+    def test_empty_matrix_blank(self):
+        coo = COOMatrix([], [], [], (8, 8))
+        text = spy(coo, width=4, height=4)
+        assert set(text.replace("\n", "")) == {DEFAULT_RAMP[0]}
+
+    def test_diagonal_shows_on_diagonal(self):
+        coo = COOMatrix.from_dense(np.eye(64))
+        lines = spy(coo, width=8, height=8).splitlines()
+        for i, line in enumerate(lines):
+            assert line[i] != " "
+            # off-diagonal corners stay empty
+            if i > 1:
+                assert line[0] == " "
+
+    def test_dense_rows_show_at_bottom(self):
+        coo = g.dense_rows(64, 4, row_fill=1.0, seed=0)
+        lines = spy(coo, width=8, height=8).splitlines()
+        assert all(ch == " " for ch in lines[0])
+        assert all(ch != " " for ch in lines[-1])
+
+    def test_density_ramp_orders(self):
+        # A dense block region must render darker than a sparse one.
+        dense = np.zeros((32, 32))
+        dense[:8, :8] = 1.0  # fully dense corner
+        dense[24, 24] = 1.0  # lone entry
+        coo = COOMatrix.from_dense(dense)
+        text = spy(coo, width=4, height=4)
+        lines = text.splitlines()
+        assert DEFAULT_RAMP.index(lines[0][0]) > DEFAULT_RAMP.index(
+            lines[3][3]
+        )
+
+    def test_rejects_bad_dims(self):
+        coo = COOMatrix([], [], [], (4, 4))
+        with pytest.raises(ValueError):
+            spy(coo, width=0)
+        with pytest.raises(ValueError):
+            spy(coo, ramp="x")
+
+    def test_border(self):
+        coo = COOMatrix.from_dense(np.eye(8))
+        text = spy_with_border(coo, width=6, height=3)
+        lines = text.splitlines()
+        assert lines[0] == "+------+"
+        assert lines[-1] == "+------+"
+        assert all(
+            line.startswith("|") and line.endswith("|")
+            for line in lines[1:-1]
+        )
+
+    def test_rectangular_matrix(self):
+        coo = COOMatrix([0], [99], [1.0], (10, 100))
+        lines = spy(coo, width=10, height=5).splitlines()
+        assert lines[0][-1] != " "

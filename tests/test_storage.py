@@ -1,0 +1,103 @@
+"""Storage cost accounting tests (Table I / Table VI inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import COOMatrix, storage_cost, storage_report
+from repro.matrix.storage import (
+    bsr_bytes,
+    coo_bytes,
+    csr_bytes,
+    dia_bytes,
+    ell_bytes,
+    hisparse_serpens_bytes,
+)
+from repro.synth import generators as g
+
+
+@pytest.fixture
+def sample():
+    # 4x4 with 5 non-zeros
+    dense = np.array(
+        [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 2.0, 3.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [4.0, 0.0, 0.0, 5.0],
+        ]
+    )
+    return COOMatrix.from_dense(dense)
+
+
+class TestCostFormulas:
+    def test_coo_12_bytes_per_nnz(self, sample):
+        assert coo_bytes(sample) == 5 * 12
+
+    def test_csr(self, sample):
+        assert csr_bytes(sample) == (4 + 1) * 4 + 5 * 8
+
+    def test_hisparse_serpens_8_bytes_per_nnz(self, sample):
+        assert hisparse_serpens_bytes(sample) == 5 * 8
+
+    def test_hisparse_serpens_constant_1_5x(self, sample):
+        assert coo_bytes(sample) / hisparse_serpens_bytes(sample) == 1.5
+
+    def test_bsr_counts_padding(self, sample):
+        # blocks at (0,0), (0,1), (1,0), (1,1) -> 4 blocks of 2x2
+        assert bsr_bytes(sample) == 3 * 4 + 4 * 4 + 16 * 4
+
+    def test_ell(self, sample):
+        # max row length 2 -> 4 rows x 2 slots x 8 bytes
+        assert ell_bytes(sample) == 8 * 8
+
+    def test_dia(self, sample):
+        # occupied diagonals: -3 (4.0), 0 (1,2,5), 1 (3.0)
+        assert dia_bytes(sample) == 3 * 4 + 3 * 4 * 4
+
+
+class TestStorageCostDispatch:
+    def test_known_format(self, sample):
+        assert storage_cost(sample, "COO") == 60
+
+    def test_unknown_format(self, sample):
+        with pytest.raises(KeyError):
+            storage_cost(sample, "nope")
+
+
+class TestStorageReport:
+    def test_default_formats(self, sample):
+        report = storage_report(sample, "sample")
+        assert set(report.bytes_by_format) == {
+            "COO", "CSR", "BSR", "HiSparse & Serpens",
+        }
+
+    def test_spasm_entry(self, sample):
+        report = storage_report(sample, "sample", spasm_bytes=40)
+        assert report.improvement("SPASM") == 60 / 40
+
+    def test_coo_improvement_is_one(self, sample):
+        report = storage_report(sample, "sample")
+        assert report.improvement("COO") == 1.0
+
+    def test_formats_order_coo_first(self, sample):
+        report = storage_report(sample, "sample", spasm_bytes=40)
+        assert report.formats[0] == "COO"
+
+
+class TestShapeExpectations:
+    """Directional checks mirroring the paper's Table VI narrative."""
+
+    def test_bsr_wins_on_pure_blocks(self):
+        coo = g.block_diagonal(50, 2, fill=1.0, seed=0)
+        report = storage_report(coo, "blocks")
+        assert report.improvement("BSR") > report.improvement("CSR")
+
+    def test_bsr_loses_on_scatter(self):
+        coo = g.random_uniform(200, 0.01, seed=0)
+        report = storage_report(coo, "scatter")
+        assert report.improvement("BSR") < 1.0
+
+    def test_csr_improvement_bounded_by_1_5(self):
+        coo = g.banded(300, 3, fill=0.9, seed=1)
+        report = storage_report(coo, "band")
+        assert 1.0 < report.improvement("CSR") <= 1.5
