@@ -1,12 +1,20 @@
 # Convenience targets for the SPASM reproduction.
 
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test lint verify bench reproduce examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+lint:
+	ruff check src tests examples
+	mypy src/repro/verify src/repro/core/encoding.py
+
+verify:
+	python -m repro verify tmt_sym --scale 0.1
+	python -m repro verify t2em --scale 0.05 --hardware SPASM_4_1
 
 bench:
 	pytest benchmarks/ --benchmark-only

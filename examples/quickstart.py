@@ -10,6 +10,7 @@ from repro import (
     COOMatrix,
     SpasmAccelerator,
     SpasmCompiler,
+    verify_spasm,
 )
 
 
@@ -42,6 +43,12 @@ def main():
     print(f"storage cost:         {program.spasm.bytes_per_nnz():.2f} "
           f"bytes/nnz (COO needs 12)")
     print(f"preprocessing time:   {program.report.total_ms:.1f} ms")
+
+    # Static verification: check the encoding (and its opcode table)
+    # against the format invariants before touching the simulator.
+    report = verify_spasm(program.spasm, source=coo)
+    assert report.ok, report.render()
+    print(f"static verification:  {report.summary()}")
 
     # Step 6: hardware execution on the functional simulator.
     x = np.random.default_rng(1).random(coo.shape[1])

@@ -15,7 +15,9 @@ commonly used entry points; see the subpackages for the full surface:
 * :mod:`repro.synth` — synthetic workload generators and the Table II
   matrix suite;
 * :mod:`repro.analysis` — metrics and report rendering for the paper's
-  tables and figures.
+  tables and figures;
+* :mod:`repro.verify` — static invariant checker over encoded
+  artifacts (streams, opcode tables, memory images).
 """
 
 from repro.matrix import COOMatrix, CSRMatrix, coo_to_csr, from_dense
@@ -36,6 +38,13 @@ from repro.hw import (
     SPASM_3_4,
     SPASM_3_2,
     DEFAULT_CONFIGS,
+)
+from repro.verify import (
+    Report,
+    VerificationError,
+    verify_memory_image,
+    verify_opcode_table,
+    verify_spasm,
 )
 
 __version__ = "1.0.0"
@@ -59,5 +68,10 @@ __all__ = [
     "SPASM_3_4",
     "SPASM_3_2",
     "DEFAULT_CONFIGS",
+    "Report",
+    "VerificationError",
+    "verify_memory_image",
+    "verify_opcode_table",
+    "verify_spasm",
     "__version__",
 ]

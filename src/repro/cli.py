@@ -7,6 +7,7 @@
     python -m repro compile matrix.mtx        # full SPASM pipeline report
     python -m repro storage c-73              # Figure 11 format comparison
     python -m repro compare raefsky3          # throughput vs baselines
+    python -m repro verify matrix.spasm.npz   # static invariant check
 
 A positional ``matrix`` argument is either a Table II workload name or
 a path to a Matrix Market ``.mtx`` file; ``--scale`` grows/shrinks the
@@ -170,6 +171,40 @@ def cmd_spmv(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_verify(args) -> int:
+    """Statically verify a SPASM artifact without simulating it."""
+    from repro.verify import verify_memory_image, verify_spasm
+
+    if args.artifact.endswith(".npz"):
+        from repro.core import load_spasm
+
+        spasm = load_spasm(args.artifact)
+        source = None
+    else:
+        # Workload name or .mtx path: encode on the fly and keep the
+        # source so decode equivalence (fmt.roundtrip) is checked too.
+        source = load_matrix(args.artifact, args.scale)
+        spasm = SpasmCompiler().compile(source).spasm
+    report = verify_spasm(spasm, source=source)
+    if args.hardware:
+        from repro.hw import DEFAULT_CONFIGS
+        from repro.hw.memory_image import pack_images
+
+        config = next(
+            c for c in DEFAULT_CONFIGS if c.name == args.hardware
+        )
+        image = pack_images(spasm, config)
+        report.extend(verify_memory_image(image, spasm=spasm))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    failed = bool(report.errors) or (
+        args.strict and bool(report.warnings)
+    )
+    return 1 if failed else 0
+
+
 def cmd_reproduce(args) -> int:
     """Regenerate the headline evaluation tables in one pass."""
     import pathlib
@@ -282,6 +317,29 @@ def build_parser() -> argparse.ArgumentParser:
     spmv.add_argument("--seed", type=int, default=0,
                       help="seed for the random x vector")
 
+    verify = sub.add_parser(
+        "verify",
+        help="statically check a SPASM artifact against the format, "
+             "opcode and memory-image invariants",
+    )
+    verify.add_argument(
+        "artifact",
+        help="a .npz encoding from 'encode', a workload name, or a "
+             ".mtx path (the latter two are encoded on the fly and "
+             "additionally checked for decode equivalence)",
+    )
+    verify.add_argument("--scale", type=float, default=1.0,
+                        help="synthetic workload scale factor")
+    verify.add_argument("--hardware", default=None,
+                        choices=["SPASM_4_1", "SPASM_3_4", "SPASM_3_2"],
+                        help="also pack and verify the HBM memory "
+                             "images for this bitstream")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    verify.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors in the exit "
+                             "code")
+
     reproduce = sub.add_parser(
         "reproduce",
         help="regenerate the headline evaluation tables in one pass",
@@ -305,16 +363,22 @@ COMMANDS = {
     "compare": cmd_compare,
     "encode": cmd_encode,
     "spmv": cmd_spmv,
+    "verify": cmd_verify,
     "reproduce": cmd_reproduce,
 }
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every anticipated failure (unknown workload, unreadable file,
+    malformed artifact, invariant violation) exits 1 with the message
+    on stderr; nothing is swallowed into a 0 exit.
+    """
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)
-    except (KeyError, FileNotFoundError, ValueError) as exc:
+    except (OSError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -36,7 +36,16 @@ from repro.matrix.coo import COOMatrix
 
 
 class FormatError(ValueError):
-    """Raised by :meth:`SpasmMatrix.validate` on a broken encoding."""
+    """Raised by :meth:`SpasmMatrix.validate` on a broken encoding.
+
+    Aggregates *every* violation the static verifier found; the
+    individual :class:`~repro.verify.diagnostics.Diagnostic` records
+    are available on :attr:`diagnostics`.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,60 +156,27 @@ class SpasmMatrix:
             return 0.0
         return self.storage_bytes() / self.source_nnz
 
-    def validate(self) -> None:
+    def validate(self, source: COOMatrix = None) -> list:
         """Check the structural invariants of the encoding.
 
-        Verifies array shapes, tile directory monotonicity, index
-        bounds against the tile size, CE/RE flag consistency with the
-        tile boundaries, and the padding arithmetic.  Raises
-        :class:`FormatError` on the first violation — the integrity
+        Delegates to the static verifier (:mod:`repro.verify`), which
+        checks array shapes, tile directory monotonicity, index bounds
+        against the tile size, CE/RE flag consistency with the tile
+        boundaries, overlap/decomposition canonicality and the padding
+        arithmetic.  Raises :class:`FormatError` aggregating *every*
+        error-severity violation (not just the first) — the integrity
         check to run after deserializing an encoding from untrusted
-        storage.
+        storage.  Passing the ``source`` matrix additionally proves
+        decode equivalence (``fmt.roundtrip``).
+
+        Returns the full diagnostic list (warnings included) when no
+        errors were found.
         """
-        if self.tile_ptr.size != self.n_tiles + 1:
-            raise FormatError("tile_ptr length != n_tiles + 1")
-        if self.tile_ptr[0] != 0 or self.tile_ptr[-1] != self.n_groups:
-            raise FormatError("tile_ptr must span [0, n_groups]")
-        if np.any(np.diff(self.tile_ptr) < 0):
-            raise FormatError("tile_ptr must be monotone")
-        if self.values.shape != (self.n_groups, self.k):
-            raise FormatError(
-                f"values shape {self.values.shape} != "
-                f"({self.n_groups}, {self.k})"
-            )
-        if self.tile_rows.size != self.tile_cols.size:
-            raise FormatError("tile coordinate arrays disagree")
-        if self.n_groups == 0:
-            return
-        fields = unpack_position_array(self.words)
-        spt = self.tile_size // self.k
-        if fields["c_idx"].max() >= spt or fields["r_idx"].max() >= spt:
-            raise FormatError(
-                "submatrix index exceeds the tile size budget"
-            )
-        if fields["t_idx"].max() >= len(self.portfolio.masks):
-            raise FormatError("t_idx addresses beyond the portfolio")
-        boundaries = np.zeros(self.n_groups, dtype=bool)
-        boundaries[self.tile_ptr[1:] - 1] = True
-        if not np.array_equal(fields["ce"], boundaries):
-            raise FormatError("CE flags disagree with tile boundaries")
-        if np.any(fields["re"] & ~fields["ce"]):
-            raise FormatError("RE set on a non-tile-boundary group")
-        tile_of_group = np.repeat(
-            np.arange(self.n_tiles), self.groups_per_tile()
-        )
-        group_rows = self.tile_rows[tile_of_group]
-        expected_re = np.empty(self.n_groups, dtype=bool)
-        expected_re[:-1] = group_rows[1:] != group_rows[:-1]
-        expected_re[-1] = True
-        if not np.array_equal(fields["re"], expected_re):
-            raise FormatError(
-                "RE flags disagree with tile-row boundaries"
-            )
-        if int(np.count_nonzero(self.values)) > self.source_nnz:
-            raise FormatError(
-                "more stored non-zero values than source non-zeros"
-            )
+        from repro.verify.runner import verify_spasm
+
+        report = verify_spasm(self, source=source, with_opcodes=False)
+        report.raise_if_errors(FormatError)
+        return report.diagnostics
 
     def tiles(self):
         """Iterate :class:`SpasmTile` views in stream order."""

@@ -49,8 +49,13 @@ def save_spasm(path, spasm: SpasmMatrix) -> None:
     )
 
 
-def load_spasm(path) -> SpasmMatrix:
-    """Read a SPASM-encoded matrix written by :func:`save_spasm`."""
+def load_spasm(path, verify: bool = False) -> SpasmMatrix:
+    """Read a SPASM-encoded matrix written by :func:`save_spasm`.
+
+    ``verify=True`` runs the static verifier on the loaded encoding
+    (the integrity check for untrusted storage) and raises
+    :class:`~repro.core.format.FormatError` listing every violation.
+    """
     with np.load(path, allow_pickle=False) as data:
         try:
             magic = str(data["magic"])
@@ -75,7 +80,7 @@ def load_spasm(path) -> SpasmMatrix:
             name=str(data["portfolio_name"]),
             description=str(data["portfolio_description"]),
         )
-        return SpasmMatrix(
+        spasm = SpasmMatrix(
             shape=tuple(int(v) for v in data["shape"]),
             k=k,
             tile_size=int(data["tile_size"]),
@@ -87,3 +92,6 @@ def load_spasm(path) -> SpasmMatrix:
             values=data["values"].copy(),
             source_nnz=int(data["source_nnz"]),
         )
+    if verify:
+        spasm.validate()
+    return spasm

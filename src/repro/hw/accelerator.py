@@ -67,15 +67,20 @@ class SpasmAccelerator:
         self.config = config
 
     def run(self, spasm: SpasmMatrix, x: np.ndarray, y: np.ndarray = None,
-            engine: str = "event") -> SimResult:
+            engine: str = "event", verify: bool = False) -> SimResult:
         """Simulate ``y = A @ x + y`` for a SPASM-encoded matrix.
 
         ``engine="event"`` walks every group through the opcode-decoded
         VALU datapath (the verification path); ``engine="fast"`` uses
         the vectorized :mod:`repro.hw.fast_sim` equivalent — identical
         results and accounting, orders of magnitude faster on large
-        matrices.
+        matrices.  ``verify=True`` statically checks the stream and its
+        opcode LUT first, raising
+        :class:`~repro.verify.diagnostics.VerificationError` listing
+        every violation before any cycle is simulated.
         """
+        if verify:
+            self._verify(spasm)
         if engine == "fast":
             from repro.hw.fast_sim import fast_run
 
@@ -151,14 +156,25 @@ class SpasmAccelerator:
             bottleneck=breakdown.bottleneck,
         )
 
+    def _verify(self, spasm: SpasmMatrix) -> None:
+        """Statically verify a stream before simulating it."""
+        from repro.verify.runner import verify_spasm
+
+        report = verify_spasm(spasm, config=self.config)
+        report.raise_if_errors()
+
     def run_spmm(self, spasm: SpasmMatrix, x_block: np.ndarray,
-                 y_block: np.ndarray = None) -> SimResult:
+                 y_block: np.ndarray = None,
+                 verify: bool = False) -> SimResult:
         """Simulate a multi-vector run ``Y = A @ X + Y`` (extension).
 
         Numeric output comes from the format's exact SpMM semantics;
         cycles from :func:`repro.hw.perf_model.perf_breakdown_spmm`
         (the A stream read once, compute/x/y scaled by the batch).
+        ``verify=True`` behaves as in :meth:`run`.
         """
+        if verify:
+            self._verify(spasm)
         from repro.hw.perf_model import assign_tiles as assign
         from repro.hw.perf_model import perf_breakdown_spmm
 

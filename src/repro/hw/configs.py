@@ -120,6 +120,25 @@ class HwConfig:
         """
         return self.onchip_ram_bytes(tile_size) <= budget
 
+    def channel_inventory(self) -> dict:
+        """Names of the A-value and position channels this config packs.
+
+        The canonical per-group naming (``g{g}.value{v}`` /
+        ``g{g}.pos{p}``) shared by :func:`repro.hw.memory_image.pack_images`
+        and the ``mem.*`` verification rules.
+        """
+        value = [
+            f"g{g}.value{v}"
+            for g in range(self.num_pe_groups)
+            for v in range(PES_PER_GROUP // PES_PER_VALUE_CHANNEL)
+        ]
+        position = [
+            f"g{g}.pos{p}"
+            for g in range(self.num_pe_groups)
+            for p in range(POSITION_CHANNELS_PER_GROUP)
+        ]
+        return {"value": value, "position": position}
+
     def describe(self) -> str:
         """Table IV style one-liner."""
         return (

@@ -88,8 +88,16 @@ def _per_pe_streams(spasm: SpasmMatrix, config: HwConfig):
     return descriptors, words, values
 
 
-def pack_images(spasm: SpasmMatrix, config: HwConfig) -> MemoryImage:
-    """Materialize the per-channel byte images of a scheduled workload."""
+def pack_images(spasm: SpasmMatrix, config: HwConfig,
+                verify: bool = False) -> MemoryImage:
+    """Materialize the per-channel byte images of a scheduled workload.
+
+    ``verify=True`` statically checks the packed images against the
+    encoding afterwards (descriptor schedule, channel byte budgets,
+    lossless round-trip) and raises
+    :class:`~repro.verify.diagnostics.VerificationError` listing every
+    violation.
+    """
     descriptors, pe_words, pe_values = _per_pe_streams(spasm, config)
 
     value_images = {}
@@ -128,12 +136,20 @@ def pack_images(spasm: SpasmMatrix, config: HwConfig) -> MemoryImage:
             ]
             position_images[f"g{g}.pos{p}"] = b"".join(chunk)
 
-    return MemoryImage(
+    image = MemoryImage(
         value_images=value_images,
         position_images=position_images,
         descriptors=descriptors,
         config=config,
     )
+    inventory = config.channel_inventory()
+    assert sorted(value_images) == sorted(inventory["value"])
+    assert sorted(position_images) == sorted(inventory["position"])
+    if verify:
+        from repro.verify.runner import verify_memory_image
+
+        verify_memory_image(image, spasm=spasm).raise_if_errors()
+    return image
 
 
 def unpack_images(image: MemoryImage, k: int = 4):

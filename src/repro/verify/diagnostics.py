@@ -1,0 +1,225 @@
+"""Structured diagnostics emitted by the static verifier.
+
+Every :class:`~repro.verify.rules.Rule` reports violations as
+:class:`Diagnostic` records — never exceptions — so one verification
+pass surfaces *all* problems of an artifact at once.  A
+:class:`Report` aggregates the diagnostics of a run together with the
+list of rules that executed, renders them for humans or machines
+(``--json``), and can convert errors back into the exception types the
+rest of the code base expects (:func:`Report.raise_if_errors`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+)
+
+#: Diagnostic severities, most severe first.
+ERROR = "error"
+WARNING = "warn"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+_SEVERITY_RANK = {sev: rank for rank, sev in enumerate(SEVERITIES)}
+
+
+class VerificationError(ValueError):
+    """Raised when a verification pass with errors is escalated.
+
+    Carries the offending :class:`Diagnostic` list on ``.diagnostics``
+    so callers can still inspect every violation programmatically.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: Optional[Iterable["Diagnostic"]] = None):
+        super().__init__(message)
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+
+@dataclasses.dataclass(frozen=True)
+class Location:
+    """Where in an encoded artifact a diagnostic points.
+
+    All fields are optional; rules fill in whatever granularity the
+    artifact offers (a position-word rule knows tile and group, a
+    memory-image rule knows PE and channel).
+    """
+
+    tile: Optional[int] = None  # index into the tile directory
+    tile_row: Optional[int] = None  # tileRowIdx
+    tile_col: Optional[int] = None  # tileColIdx
+    group: Optional[int] = None  # global group index (stream order)
+    r_idx: Optional[int] = None  # submatrix row within the tile
+    c_idx: Optional[int] = None  # submatrix column within the tile
+    t_idx: Optional[int] = None  # template index
+    pe: Optional[int] = None  # processing element id
+    channel: Optional[str] = None  # HBM channel name
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Dict view with the unset fields dropped."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if getattr(self, field.name) is not None
+        }
+
+    def __str__(self) -> str:
+        parts = []
+        if self.tile is not None:
+            coords = ""
+            if self.tile_row is not None and self.tile_col is not None:
+                coords = f" (r={self.tile_row},c={self.tile_col})"
+            parts.append(f"tile {self.tile}{coords}")
+        if self.group is not None:
+            parts.append(f"group {self.group}")
+        if self.r_idx is not None and self.c_idx is not None:
+            parts.append(f"sub ({self.r_idx},{self.c_idx})")
+        if self.t_idx is not None:
+            parts.append(f"t_idx {self.t_idx}")
+        if self.pe is not None:
+            parts.append(f"pe {self.pe}")
+        if self.channel is not None:
+            parts.append(f"channel {self.channel}")
+        return ", ".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier of the emitting rule (``family.name``).
+    severity:
+        ``"error"`` (broken artifact), ``"warn"`` (legal but
+        suspicious) or ``"info"``.
+    message:
+        Human-readable description of the violation.
+    location:
+        Artifact coordinates of the finding.
+    details:
+        Machine-readable payload (field values, bounds, counts).
+    """
+
+    rule_id: str
+    severity: str
+    message: str
+    location: Location = Location()
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict view."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location.as_dict(),
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        """One-line human rendering."""
+        where = str(self.location)
+        where = f" [{where}]" if where else ""
+        return f"{self.severity.upper():5s} {self.rule_id}{where}: " \
+               f"{self.message}"
+
+
+@dataclasses.dataclass
+class Report:
+    """Outcome of one verification pass."""
+
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    rules_run: List[str] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.diagnostics.sort(
+            key=lambda d: (_SEVERITY_RANK.get(d.severity, len(SEVERITIES)),
+                           d.rule_id)
+        )
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """The error-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """The warn-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were reported."""
+        return not self.errors
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def extend(self, other: "Report") -> "Report":
+        """Merge another report into this one (in place)."""
+        self.diagnostics.extend(other.diagnostics)
+        self.rules_run.extend(
+            r for r in other.rules_run if r not in self.rules_run
+        )
+        self.__post_init__()
+        return self
+
+    def summary(self) -> str:
+        """``"N errors, M warnings (R rules run)"``."""
+        return (
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings "
+            f"({len(self.rules_run)} rules run)"
+        )
+
+    def render(self) -> str:
+        """Multi-line human rendering of every diagnostic + summary."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict view of the whole report."""
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "rules_run": list(self.rules_run),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the report to a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def raise_if_errors(
+        self,
+        exc_type: Callable[..., ValueError] = VerificationError,
+    ) -> None:
+        """Raise ``exc_type`` aggregating every error diagnostic.
+
+        ``exc_type`` must accept ``(message, diagnostics=...)`` like
+        :class:`VerificationError` (``repro.core.format.FormatError``
+        does); the message enumerates all violations, not just the
+        first.
+        """
+        errors = self.errors
+        if not errors:
+            return
+        lines = [f"{len(errors)} format invariant violation(s):"]
+        lines.extend(f"  {d.render()}" for d in errors)
+        raise exc_type("\n".join(lines), diagnostics=errors)

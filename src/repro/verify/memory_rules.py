@@ -1,0 +1,289 @@
+"""Memory-image rules (paper Section IV / docs/FORMAT.md HBM layout).
+
+These rules check a packed :class:`~repro.hw.memory_image.MemoryImage`
+without running the simulator: the per-channel inventory against the
+hardware configuration, byte lengths against the descriptor tables,
+the round-robin interleaving math, and — when the source encoding is
+supplied — that descriptors match the deterministic tile schedule and
+that unpacking the images reproduces every PE's stream exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.verify.diagnostics import Diagnostic, Location
+from repro.verify.rules import (
+    KIND_MEMORY,
+    MAX_OCCURRENCES,
+    Rule,
+    VerifyContext,
+    register,
+)
+
+
+def _groups_per_pe(image) -> List[int]:
+    """Group counts per PE from the image's descriptor tables."""
+    return [
+        sum(int(n) for __, __, n in descriptor)
+        for descriptor in image.descriptors
+    ]
+
+
+@register
+class ChannelInventory(Rule):
+    rule_id = "mem.channels"
+    kinds = (KIND_MEMORY,)
+    title = ("the image holds exactly the value/position channels the "
+             "hardware configuration provides")
+    paper = "IV-D3 (HBM channel budget)"
+    requires = ("image",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        image = ctx.image
+        config = image.config
+        inventory = config.channel_inventory()
+        expected_value = set(inventory["value"])
+        expected_pos = set(inventory["position"])
+        for name in sorted(expected_value - set(image.value_images)):
+            yield self.diag(
+                f"value channel {name} is missing from the image",
+                location=Location(channel=name),
+            )
+        for name in sorted(set(image.value_images) - expected_value):
+            yield self.diag(
+                f"unexpected value channel {name} "
+                f"({config.name} provides {len(expected_value)})",
+                location=Location(channel=name),
+            )
+        for name in sorted(expected_pos - set(image.position_images)):
+            yield self.diag(
+                f"position channel {name} is missing from the image",
+                location=Location(channel=name),
+            )
+        for name in sorted(set(image.position_images) - expected_pos):
+            yield self.diag(
+                f"unexpected position channel {name} "
+                f"({config.name} provides {len(expected_pos)})",
+                location=Location(channel=name),
+            )
+        if len(image.descriptors) != config.num_pes:
+            yield self.diag(
+                f"{len(image.descriptors)} descriptor tables for "
+                f"{config.num_pes} PEs",
+                n_descriptors=len(image.descriptors),
+                num_pes=config.num_pes,
+            )
+
+
+@register
+class ValueImageBytes(Rule):
+    rule_id = "mem.value_bytes"
+    kinds = (KIND_MEMORY,)
+    title = ("each value channel holds one k*4-byte payload per group "
+             "of the 4 PEs it serves")
+    paper = "IV-D3 (one value channel per 4 PEs)"
+    requires = ("image",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.hw.configs import (
+            LANES_PER_PE,
+            PES_PER_GROUP,
+            PES_PER_VALUE_CHANNEL,
+        )
+
+        image = ctx.image
+        config = image.config
+        k = ctx.spasm.k if ctx.spasm is not None else LANES_PER_PE
+        payload = k * 4
+        counts = _groups_per_pe(image)
+        if len(counts) != config.num_pes:
+            return  # mem.channels reports
+        for g in range(config.num_pe_groups):
+            base = g * PES_PER_GROUP
+            for v in range(PES_PER_GROUP // PES_PER_VALUE_CHANNEL):
+                name = f"g{g}.value{v}"
+                img = image.value_images.get(name)
+                if img is None:
+                    continue  # mem.channels reports
+                pes = [
+                    base + v * PES_PER_VALUE_CHANNEL + i
+                    for i in range(PES_PER_VALUE_CHANNEL)
+                ]
+                expected = payload * sum(counts[pe] for pe in pes)
+                if len(img) % payload:
+                    yield self.diag(
+                        f"value channel {name} holds {len(img)} bytes, "
+                        f"not a multiple of the {payload}-byte group "
+                        "payload",
+                        location=Location(channel=name),
+                        image_bytes=len(img),
+                    )
+                elif len(img) != expected:
+                    yield self.diag(
+                        f"value channel {name} holds {len(img)} bytes "
+                        f"but its PEs' descriptors announce "
+                        f"{expected}",
+                        location=Location(channel=name),
+                        image_bytes=len(img),
+                        descriptor_bytes=expected,
+                    )
+
+
+@register
+class PositionImageBytes(Rule):
+    rule_id = "mem.pos_bytes"
+    kinds = (KIND_MEMORY,)
+    title = ("each PE group's position channels hold one 32-bit word "
+             "per group, dealt round-robin")
+    paper = "IV-D3 (2 position channels per PE group)"
+    requires = ("image",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.hw.configs import (
+            PES_PER_GROUP,
+            POSITION_CHANNELS_PER_GROUP,
+        )
+
+        image = ctx.image
+        config = image.config
+        counts = _groups_per_pe(image)
+        if len(counts) != config.num_pes:
+            return  # mem.channels reports
+        for g in range(config.num_pe_groups):
+            base = g * PES_PER_GROUP
+            total = sum(counts[base:base + PES_PER_GROUP])
+            for p in range(POSITION_CHANNELS_PER_GROUP):
+                name = f"g{g}.pos{p}"
+                img = image.position_images.get(name)
+                if img is None:
+                    continue  # mem.channels reports
+                if len(img) % 4:
+                    yield self.diag(
+                        f"position channel {name} holds {len(img)} "
+                        "bytes, not a multiple of the 4-byte word",
+                        location=Location(channel=name),
+                        image_bytes=len(img),
+                    )
+                    continue
+                # Word idx i goes to channel i % P: channel p receives
+                # ceil((total - p) / P) words.
+                expected_words = (
+                    total // POSITION_CHANNELS_PER_GROUP
+                    + (1 if p < total % POSITION_CHANNELS_PER_GROUP
+                       else 0)
+                )
+                if len(img) != expected_words * 4:
+                    yield self.diag(
+                        f"position channel {name} holds "
+                        f"{len(img) // 4} words but the round-robin "
+                        f"deal of {total} group words gives it "
+                        f"{expected_words}",
+                        location=Location(channel=name),
+                        words=len(img) // 4,
+                        expected_words=expected_words,
+                    )
+
+
+@register
+class DescriptorSchedule(Rule):
+    rule_id = "mem.descriptors"
+    kinds = (KIND_MEMORY,)
+    title = ("descriptor tables match the deterministic tile -> PE "
+             "schedule of the encoding")
+    paper = "IV (load units walk the descriptors) / Algorithm 4"
+    requires = ("image", "spasm")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.hw.perf_model import assign_tiles
+
+        image = ctx.image
+        spasm = ctx.spasm
+        config = image.config
+        if len(image.descriptors) != config.num_pes:
+            return  # mem.channels reports
+        if not ctx.structure_ok:
+            return
+        owner = assign_tiles(spasm.groups_per_tile(), config.num_pes)
+        expected: List[List[tuple]] = [
+            [] for __ in range(config.num_pes)
+        ]
+        groups = spasm.groups_per_tile()
+        for t in range(spasm.n_tiles):
+            expected[int(owner[t])].append(
+                (int(spasm.tile_rows[t]), int(spasm.tile_cols[t]),
+                 int(groups[t]))
+            )
+        emitted = 0
+        for pe in range(config.num_pes):
+            actual = [tuple(int(v) for v in d)
+                      for d in image.descriptors[pe]]
+            if actual != expected[pe] and emitted < MAX_OCCURRENCES:
+                emitted += 1
+                yield self.diag(
+                    f"PE {pe} descriptor table disagrees with the "
+                    f"schedule ({len(actual)} tiles vs "
+                    f"{len(expected[pe])} expected)",
+                    location=Location(pe=pe),
+                    actual_tiles=len(actual),
+                    expected_tiles=len(expected[pe]),
+                )
+
+
+@register
+class ImageRoundTrip(Rule):
+    rule_id = "mem.roundtrip"
+    kinds = (KIND_MEMORY,)
+    title = ("unpacking the images reproduces every PE's (word, "
+             "values) stream of the encoding")
+    paper = "IV (lossless channel layout)"
+    requires = ("image", "spasm")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.hw.memory_image import _per_pe_streams, unpack_images
+
+        image = ctx.image
+        spasm = ctx.spasm
+        config = image.config
+        if not ctx.structure_ok or not ctx.decodable:
+            return
+        try:
+            pe_words, pe_values = unpack_images(image, k=spasm.k)
+        except Exception as exc:  # malformed images break indexing
+            yield self.diag(
+                f"images do not unpack: {type(exc).__name__}: {exc}",
+            )
+            return
+        __, exp_words, exp_values = _per_pe_streams(spasm, config)
+        if len(pe_words) != len(exp_words):
+            yield self.diag(
+                f"unpacked {len(pe_words)} PE streams, expected "
+                f"{len(exp_words)}",
+            )
+            return
+        emitted = 0
+        for pe in range(len(exp_words)):
+            if emitted >= MAX_OCCURRENCES:
+                break
+            if pe_words[pe].size != exp_words[pe].size or not (
+                np.array_equal(pe_words[pe], exp_words[pe])
+            ):
+                emitted += 1
+                yield self.diag(
+                    f"PE {pe} position words differ from the "
+                    "encoding's schedule",
+                    location=Location(pe=pe),
+                )
+                continue
+            expected32 = exp_values[pe].astype(np.float32)
+            if pe_values[pe].shape != expected32.shape or not (
+                np.array_equal(pe_values[pe], expected32)
+            ):
+                emitted += 1
+                yield self.diag(
+                    f"PE {pe} value payload differs from the "
+                    "encoding's schedule (float32 comparison)",
+                    location=Location(pe=pe),
+                )

@@ -1,0 +1,239 @@
+"""Opcode rules (paper Section IV-D1).
+
+These rules check a PE's 30-bit VALU opcode table against the template
+portfolio it serves: word width, decodability of the adder operand
+muxes, output-lane routing restricted to the rows each template
+covers, the row-major multiplier lane assignment, and — strongest — a
+symbolic re-execution proving the routed datapath computes exactly the
+per-row sums the template semantics demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.verify.diagnostics import Diagnostic, Location
+from repro.verify.rules import (
+    KIND_OPCODE,
+    Rule,
+    VerifyContext,
+    register,
+)
+
+
+def _decoded(word: int):
+    """Decode a word, returning (opcode, error_message)."""
+    from repro.hw.opcode import OpcodeError, decode_opcode
+
+    try:
+        return decode_opcode(int(word)), None
+    except OpcodeError as exc:
+        return None, str(exc)
+
+
+def _table_pairs(
+    ctx: VerifyContext,
+) -> List[Tuple[int, int, Optional[int]]]:
+    """(t_idx, word, mask) pairs for the overlapping table prefix."""
+    assert ctx.opcodes is not None
+    masks = ctx.portfolio.masks if ctx.portfolio is not None else ()
+    out: List[Tuple[int, int, Optional[int]]] = []
+    for t, word in enumerate(ctx.opcodes):
+        mask = masks[t] if t < len(masks) else None
+        out.append((t, int(word), mask))
+    return out
+
+
+@register
+class TableSize(Rule):
+    rule_id = "opc.table_size"
+    kinds = (KIND_OPCODE,)
+    title = "the opcode LUT holds exactly one opcode per template"
+    paper = "IV-D2 (per-template opcode LUT)"
+    requires = ("opcodes", "portfolio")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        n_opcodes = len(ctx.opcodes)
+        n_templates = len(ctx.portfolio.masks)
+        if n_opcodes != n_templates:
+            yield self.diag(
+                f"opcode table holds {n_opcodes} entries for "
+                f"{n_templates} templates",
+                n_opcodes=n_opcodes,
+                n_templates=n_templates,
+            )
+
+
+@register
+class OpcodeWidth(Rule):
+    rule_id = "opc.width"
+    kinds = (KIND_OPCODE,)
+    title = "every opcode fits the 30-bit budget"
+    paper = "IV-D1 (30-bit opcode)"
+    requires = ("opcodes",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.hw.opcode import OPCODE_BITS
+
+        for t, word in enumerate(ctx.opcodes):
+            if not 0 <= int(word) < (1 << OPCODE_BITS):
+                yield self.diag(
+                    f"opcode {int(word):#x} does not fit "
+                    f"{OPCODE_BITS} bits",
+                    location=Location(t_idx=t),
+                    word=int(word),
+                )
+
+
+@register
+class AdderOperands(Rule):
+    rule_id = "opc.operands"
+    kinds = (KIND_OPCODE,)
+    title = ("adder operand muxes reference defined datapath nodes "
+             "({m0..m3} for a0, {m0..m3, a0} for a1)")
+    paper = "IV-D1 (adder arrangement)"
+    requires = ("opcodes",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.hw.opcode import OPCODE_BITS
+
+        for t, word in enumerate(ctx.opcodes):
+            if not 0 <= int(word) < (1 << OPCODE_BITS):
+                continue  # opc.width reports
+            __, err = _decoded(int(word))
+            if err is not None:
+                yield self.diag(
+                    f"opcode does not decode: {err}",
+                    location=Location(t_idx=t),
+                    word=int(word),
+                )
+
+
+@register
+class OutputRowRouting(Rule):
+    rule_id = "opc.out_rows"
+    kinds = (KIND_OPCODE,)
+    title = ("out_sel routes a result to exactly the submatrix rows "
+             "the template covers")
+    paper = "IV-D1 (output lane routing)"
+    requires = ("opcodes", "portfolio")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.core.bitmask import coords_from_mask, popcount
+        from repro.hw.opcode import NODE_ZERO
+
+        k = ctx.portfolio.k
+        for t, word, mask in _table_pairs(ctx):
+            if mask is None or popcount(mask) != k:
+                continue
+            opcode, __ = _decoded(word)
+            if opcode is None:
+                continue  # opc.operands reports
+            covered = {r for r, __ in coords_from_mask(mask, k)}
+            for row, sel in enumerate(opcode.out_sel):
+                if row in covered and sel == NODE_ZERO:
+                    yield self.diag(
+                        f"output lane {row} is muxed to zero but the "
+                        f"template covers row {row}",
+                        location=Location(t_idx=t),
+                        row=row,
+                    )
+                elif row not in covered and sel != NODE_ZERO:
+                    yield self.diag(
+                        f"output lane {row} routes node {sel} but the "
+                        f"template has no cell in row {row}",
+                        location=Location(t_idx=t),
+                        row=row,
+                        out_sel=sel,
+                    )
+
+
+@register
+class MultiplierLanes(Rule):
+    rule_id = "opc.mul_lanes"
+    kinds = (KIND_OPCODE,)
+    title = ("mul_sel feeds each multiplier the x lane of its "
+             "template cell's column, in row-major (contiguous-row) "
+             "lane order")
+    paper = "IV-D1 (row-major cells -> contiguous multiplier lanes)"
+    requires = ("opcodes", "portfolio")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.core.bitmask import coords_from_mask, popcount
+
+        k = ctx.portfolio.k
+        for t, word, mask in _table_pairs(ctx):
+            if mask is None or popcount(mask) != k:
+                continue
+            opcode, __ = _decoded(word)
+            if opcode is None:
+                continue
+            cells = coords_from_mask(mask, k)
+            for lane, (__, col) in enumerate(cells):
+                if opcode.mul_sel[lane] != col:
+                    yield self.diag(
+                        f"multiplier lane {lane} selects x lane "
+                        f"{opcode.mul_sel[lane]}, but the template's "
+                        f"cell #{lane} (row-major) sits in column "
+                        f"{col}",
+                        location=Location(t_idx=t),
+                        lane=lane,
+                        mul_sel=opcode.mul_sel[lane],
+                        expected=col,
+                    )
+
+
+@register
+class DatapathSemantics(Rule):
+    rule_id = "opc.semantics"
+    kinds = (KIND_OPCODE,)
+    title = ("symbolically executing the routed datapath reproduces "
+             "each covered row's sum of products")
+    paper = "IV-D1 (Figure 8 datapath)"
+    requires = ("opcodes", "portfolio")
+
+    #: Two independent operand bases; agreement on both rules out
+    #: coincidental sums (distinct primes make collisions implausible).
+    _BASES = (
+        (np.array([3.0, 5.0, 7.0, 11.0]),
+         np.array([13.0, 17.0, 19.0, 23.0])),
+        (np.array([29.0, 31.0, 37.0, 41.0]),
+         np.array([43.0, 47.0, 53.0, 59.0])),
+    )
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.core.bitmask import coords_from_mask, popcount
+        from repro.hw.valu import VALU, VALUOp
+
+        k = ctx.portfolio.k
+        if k != 4:
+            return  # the VALU datapath model is 4 lanes wide
+        valu = VALU()
+        for t, word, mask in _table_pairs(ctx):
+            if mask is None or popcount(mask) != k:
+                continue
+            opcode, __ = _decoded(word)
+            if opcode is None:
+                continue
+            cells = coords_from_mask(mask, k)
+            for values, x in self._BASES:
+                expected = np.zeros(k)
+                for lane, (row, col) in enumerate(cells):
+                    expected[row] += values[lane] * x[col]
+                got = valu.execute(
+                    VALUOp(opcode=word, values=values, x_segment=x)
+                )
+                bad_rows = np.flatnonzero(got != expected)
+                if bad_rows.size:
+                    yield self.diag(
+                        f"datapath output rows {bad_rows.tolist()} "
+                        "disagree with the template's per-row sums "
+                        "of products",
+                        location=Location(t_idx=t),
+                        rows=bad_rows.tolist(),
+                        got=got.tolist(),
+                        expected=expected.tolist(),
+                    )
+                    break

@@ -1,0 +1,251 @@
+"""Position-word rules (paper Section III).
+
+These rules inspect the decoded fields of every 32-bit position word
+against the constraints the hardware relies on: 13-bit submatrix
+indices bounded by the tile-size budget, a ``t_idx`` that addresses a
+real portfolio slot, and CE/RE double-buffer flags placed exactly on
+the groups where the next tile coordinate changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.verify.diagnostics import Diagnostic, WARNING
+from repro.verify.rules import (
+    KIND_SPASM,
+    MAX_OCCURRENCES,
+    Rule,
+    VerifyContext,
+    register,
+)
+
+
+@register
+class SubmatrixColumnRange(Rule):
+    rule_id = "pos.c_range"
+    kinds = (KIND_SPASM,)
+    title = ("c_idx addresses a submatrix column inside the tile-size "
+             "budget")
+    paper = "III (13-bit submatrix indices)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        spasm = ctx.spasm
+        if spasm.n_groups == 0:
+            return
+        spt = spasm.tile_size // spasm.k
+        bad = np.flatnonzero(ctx.fields["c_idx"] >= spt)
+        for g in bad[:MAX_OCCURRENCES]:
+            yield self.diag(
+                f"c_idx {int(ctx.fields['c_idx'][g])} >= "
+                f"{spt} submatrices per tile edge",
+                location=ctx.group_location(int(g)),
+                c_idx=int(ctx.fields["c_idx"][g]),
+                bound=spt,
+                count=int(bad.size),
+            )
+
+
+@register
+class SubmatrixRowRange(Rule):
+    rule_id = "pos.r_range"
+    kinds = (KIND_SPASM,)
+    title = "r_idx addresses a submatrix row inside the tile-size budget"
+    paper = "III (13-bit submatrix indices)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        spasm = ctx.spasm
+        if spasm.n_groups == 0:
+            return
+        spt = spasm.tile_size // spasm.k
+        bad = np.flatnonzero(ctx.fields["r_idx"] >= spt)
+        for g in bad[:MAX_OCCURRENCES]:
+            yield self.diag(
+                f"r_idx {int(ctx.fields['r_idx'][g])} >= "
+                f"{spt} submatrices per tile edge",
+                location=ctx.group_location(int(g)),
+                r_idx=int(ctx.fields["r_idx"][g]),
+                bound=spt,
+                count=int(bad.size),
+            )
+
+
+@register
+class TemplateIndexRange(Rule):
+    rule_id = "pos.t_range"
+    kinds = (KIND_SPASM,)
+    title = "t_idx addresses a template inside the portfolio"
+    paper = "III (4-bit t_idx) / IV-D2 (opcode LUT depth)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        spasm = ctx.spasm
+        if spasm.n_groups == 0:
+            return
+        n_templates = len(spasm.portfolio.masks)
+        bad = np.flatnonzero(ctx.fields["t_idx"] >= n_templates)
+        for g in bad[:MAX_OCCURRENCES]:
+            yield self.diag(
+                f"t_idx {int(ctx.fields['t_idx'][g])} addresses beyond "
+                f"the {n_templates}-template portfolio",
+                location=ctx.group_location(
+                    int(g), t_idx=int(ctx.fields["t_idx"][g])
+                ),
+                n_templates=n_templates,
+                count=int(bad.size),
+            )
+
+
+@register
+class ColumnEndBoundary(Rule):
+    rule_id = "pos.ce_boundary"
+    kinds = (KIND_SPASM,)
+    title = ("CE is set exactly on the final group of each tile "
+             "(x-buffer switch)")
+    paper = "III (CE flag) / IV-B (double-buffered x)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        spasm = ctx.spasm
+        if spasm.n_groups == 0 or not ctx.structure_ok:
+            return
+        expected = np.zeros(spasm.n_groups, dtype=bool)
+        boundary = np.asarray(spasm.tile_ptr[1:]) - 1
+        expected[boundary[boundary >= 0]] = True
+        mismatch = np.flatnonzero(ctx.fields["ce"] != expected)
+        for g in mismatch[:MAX_OCCURRENCES]:
+            if expected[g]:
+                msg = "CE missing on the final group of its tile"
+            else:
+                msg = "CE set on a group that is not tile-final"
+            yield self.diag(
+                msg,
+                location=ctx.group_location(int(g)),
+                expected=bool(expected[g]),
+                count=int(mismatch.size),
+            )
+
+
+@register
+class RowEndBoundary(Rule):
+    rule_id = "pos.re_boundary"
+    kinds = (KIND_SPASM,)
+    title = ("RE is set exactly on the final group of each tile row "
+             "(partial-sum flush)")
+    paper = "III (RE flag) / IV-B (psum buffer)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        spasm = ctx.spasm
+        if spasm.n_groups == 0 or not ctx.structure_ok:
+            return
+        fields = ctx.fields
+        group_rows = spasm.tile_rows[ctx.tile_of_group]
+        expected = np.empty(spasm.n_groups, dtype=bool)
+        expected[:-1] = group_rows[1:] != group_rows[:-1]
+        expected[-1] = True
+        mismatch = np.flatnonzero(fields["re"] != expected)
+        for g in mismatch[:MAX_OCCURRENCES]:
+            if expected[g]:
+                msg = "RE missing on the final group of its tile row"
+            else:
+                msg = "RE set on a group that is not tile-row-final"
+            yield self.diag(
+                msg,
+                location=ctx.group_location(int(g)),
+                expected=bool(expected[g]),
+                count=int(mismatch.size),
+            )
+        # RE => CE: a tile-row boundary is always a tile boundary.
+        orphan = np.flatnonzero(fields["re"] & ~fields["ce"])
+        for g in orphan[:MAX_OCCURRENCES]:
+            yield self.diag(
+                "RE set without CE (a tile-row boundary must also be a "
+                "tile boundary)",
+                location=ctx.group_location(int(g)),
+                count=int(orphan.size),
+            )
+
+
+@register
+class DuplicateGroup(Rule):
+    rule_id = "pos.duplicate_group"
+    kinds = (KIND_SPASM,)
+    title = ("no two groups of a tile repeat the same "
+             "(r_idx, c_idx, t_idx)")
+    paper = "III (one group per template instance)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        spasm = ctx.spasm
+        if spasm.n_groups == 0 or not ctx.structure_ok:
+            return
+        fields = ctx.fields
+        spt = max(spasm.tile_size // spasm.k, 1)
+        key = (
+            (ctx.tile_of_group * spt + fields["r_idx"]) * spt
+            + fields["c_idx"]
+        ) * 16 + fields["t_idx"]
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        dup = np.flatnonzero(key_sorted[1:] == key_sorted[:-1])
+        for i in dup[:MAX_OCCURRENCES]:
+            g = int(order[i + 1])
+            yield self.diag(
+                "duplicate (r_idx, c_idx, t_idx) group within a tile",
+                location=ctx.group_location(
+                    g,
+                    r_idx=int(fields["r_idx"][g]),
+                    c_idx=int(fields["c_idx"][g]),
+                    t_idx=int(fields["t_idx"][g]),
+                ),
+                first_group=int(order[i]),
+                count=int(dup.size),
+            )
+
+
+@register
+class CanonicalStreamOrder(Rule):
+    rule_id = "pos.stream_order"
+    kinds = (KIND_SPASM,)
+    severity = WARNING
+    title = ("groups follow the encoder's canonical row-major "
+             "(r_idx, c_idx) order within each tile")
+    paper = "III (row-major tile streaming)"
+    requires = ("spasm",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        # A permuted intra-tile order still computes the same result
+        # (accumulation commutes) and is deliberately produced by
+        # repro.hw.hazards.hazard_aware_reorder, hence warn severity.
+        spasm = ctx.spasm
+        if spasm.n_groups == 0 or not ctx.structure_ok:
+            return
+        fields = ctx.fields
+        spt = max(spasm.tile_size // spasm.k, 1)
+        key = (
+            (ctx.tile_of_group * spt + fields["r_idx"]) * spt
+            + fields["c_idx"]
+        )
+        unsorted = np.flatnonzero(key[1:] < key[:-1])
+        # Only flag breaks inside a tile; tile transitions reset the key.
+        same_tile = (
+            ctx.tile_of_group[1:] == ctx.tile_of_group[:-1]
+        )
+        unsorted = unsorted[same_tile[unsorted]]
+        for i in unsorted[:MAX_OCCURRENCES]:
+            g = int(i) + 1
+            yield self.diag(
+                "group is out of canonical (r_idx, c_idx) stream order "
+                "(legal, but not the encoder's canonical layout)",
+                location=ctx.group_location(
+                    g,
+                    r_idx=int(fields["r_idx"][g]),
+                    c_idx=int(fields["c_idx"][g]),
+                ),
+                count=int(unsorted.size),
+            )

@@ -13,7 +13,6 @@ from repro.core.dynamic import (
 )
 from repro.core.selection import storage_bytes_estimate
 from repro.core.templates import MAX_TEMPLATES
-from repro.matrix import COOMatrix
 from repro.synth import generators as g
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import analyze_local_patterns, select_portfolio
-from repro.core.decompose import DecompositionError
 from repro.core.selection import padding_rate, storage_bytes_estimate
 from repro.core.templates import build_portfolio, candidate_portfolios
 from repro.synth import generators as g
