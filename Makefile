@@ -1,6 +1,6 @@
 # Convenience targets for the SPASM reproduction.
 
-.PHONY: install test lint verify bench reproduce examples clean
+.PHONY: install test lint verify bench bench-smoke reproduce examples clean
 
 install:
 	pip install -e .
@@ -10,7 +10,7 @@ test:
 
 lint:
 	ruff check src tests examples
-	mypy src/repro/verify src/repro/core/encoding.py
+	mypy src/repro/verify src/repro/pipeline src/repro/core/encoding.py
 
 verify:
 	python -m repro verify tmt_sym --scale 0.1
@@ -18,6 +18,16 @@ verify:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# One synthetic workload through the full pipeline with the per-stage
+# trace written out — the CI smoke proof that compile + trace + JSON
+# reporting stay healthy (uploads BENCH_pipeline.json as an artifact).
+bench-smoke:
+	python -m repro compile tmt_sym --scale 0.1 --json \
+	    --trace BENCH_pipeline.json > /dev/null
+	python -c "import json; t = json.load(open('BENCH_pipeline.json')); \
+	    print('\n'.join('%-14s %8.2f ms  cache=%s' % \
+	    (e['name'], e['wall_ms'], e['cache']) for e in t['events']))"
 
 reproduce:
 	python -m repro reproduce --out reproduction

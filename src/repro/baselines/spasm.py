@@ -21,6 +21,14 @@ class SpasmModel(AcceleratorModel):
     compiler:
         Optional pre-configured :class:`SpasmCompiler` (ablations pass
         compilers with stages disabled).
+    cache_dir:
+        When no ``compiler`` is given, build one with this
+        content-addressed artifact cache directory (see
+        :mod:`repro.pipeline.cache`); repeat compiles of an unchanged
+        matrix — including across processes — are served from disk.
+    jobs:
+        When no ``compiler`` is given, thread count for the schedule
+        sweep.
     **compile_kwargs:
         ``fixed_portfolio`` / ``fixed_tile_size`` / ``fixed_hw_config``
         forwarded to every compile call.
@@ -28,8 +36,11 @@ class SpasmModel(AcceleratorModel):
 
     name = "SPASM"
 
-    def __init__(self, compiler: SpasmCompiler = None, **compile_kwargs):
-        self.compiler = compiler or SpasmCompiler()
+    def __init__(self, compiler: SpasmCompiler = None, cache_dir=None,
+                 jobs: int = 1, **compile_kwargs):
+        self.compiler = compiler or SpasmCompiler(
+            cache_dir=cache_dir, jobs=jobs
+        )
         self.compile_kwargs = compile_kwargs
         self._cache = {}
 
@@ -45,6 +56,11 @@ class SpasmModel(AcceleratorModel):
     def program(self, coo: COOMatrix) -> SpasmProgram:
         """The compiled program for a matrix."""
         return self.compile(coo)
+
+    def trace(self, coo: COOMatrix):
+        """Per-stage :class:`~repro.pipeline.trace.PipelineTrace` of the
+        (memoized) compile — stage timings, cache outcomes, notes."""
+        return self.compile(coo).trace
 
     # The platform constants depend on the per-matrix selected bitstream,
     # so the AcceleratorModel attributes become per-call properties.

@@ -71,10 +71,56 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def make_compiler(args) -> SpasmCompiler:
+    """A compiler configured from the shared pipeline CLI flags."""
+    return SpasmCompiler(
+        cache_dir=getattr(args, "cache_dir", None),
+        jobs=getattr(args, "jobs", 1),
+        verify=getattr(args, "verify", False),
+    )
+
+
+def write_trace(args, program) -> None:
+    """Honor ``--trace FILE``: dump the per-stage trace as JSON."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path and program.trace is not None:
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            fh.write(program.trace.to_json() + "\n")
+
+
 def cmd_compile(args) -> int:
+    import json
+
     coo = load_matrix(args.matrix, args.scale)
-    program = SpasmCompiler().compile(coo)
+    program = make_compiler(args).compile(coo)
     breakdown = program.estimate()
+    write_trace(args, program)
+    if args.json:
+        report = program.report
+        payload = {
+            "matrix": args.matrix,
+            "shape": list(coo.shape),
+            "nnz": coo.nnz,
+            "portfolio": program.portfolio.name,
+            "tile_size": program.tile_size,
+            "hardware": program.hw_config.name,
+            "groups": program.spasm.n_groups,
+            "padding_rate": program.spasm.padding_rate,
+            "bytes_per_nnz": program.spasm.bytes_per_nnz(),
+            "est_cycles": breakdown.total_cycles,
+            "bottleneck": breakdown.bottleneck,
+            "est_gflops": program.estimated_gflops(),
+            "report_ms": {
+                "analysis": report.analysis_ms,
+                "selection": report.selection_ms,
+                "decomposition": report.decomposition_ms,
+                "schedule": report.schedule_ms,
+                "total": report.total_ms,
+            },
+            "trace": program.trace.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"matrix:        {args.matrix} shape={coo.shape} nnz={coo.nnz}")
     print(f"portfolio:     {program.portfolio.name} "
           f"({program.portfolio.description})")
@@ -91,6 +137,11 @@ def cmd_compile(args) -> int:
           f"selection {program.report.selection_ms:.1f} ms, "
           f"decomposition {program.report.decomposition_ms:.1f} ms, "
           f"schedule {program.report.schedule_ms:.1f} ms")
+    if args.cache_dir:
+        hits = ", ".join(
+            f"{event.name}={event.cache}" for event in program.trace
+        )
+        print(f"cache:         {hits}")
     return 0
 
 
@@ -135,7 +186,8 @@ def cmd_encode(args) -> int:
     from repro.core import save_spasm
 
     coo = load_matrix(args.matrix, args.scale)
-    program = SpasmCompiler().compile(coo)
+    program = make_compiler(args).compile(coo)
+    write_trace(args, program)
     save_spasm(args.output, program.spasm)
     print(f"encoded {args.matrix}: {program.portfolio.name}, "
           f"tile={program.tile_size}, "
@@ -226,7 +278,7 @@ def cmd_reproduce(args) -> int:
         (spec.name, coo)
         for spec, coo in load_suite(scale=args.scale, names=names)
     ]
-    spasm = SpasmModel()
+    spasm = SpasmModel(cache_dir=args.cache_dir, jobs=args.jobs)
     baselines = [
         HiSparseModel(), SERPENS_A16(), SERPENS_A24(),
         CuSparseRTX3090Model(),
@@ -290,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic workload scale factor")
         return p
 
+    def add_pipeline_flags(p):
+        p.add_argument("--cache-dir", default=None,
+                       help="content-addressed artifact cache directory "
+                            "(recompiles of unchanged workloads are "
+                            "served from disk)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="threads for the schedule sweep "
+                            "(deterministic; default 1)")
+        return p
+
     analyze = add_matrix_command("analyze", "local pattern analysis")
     analyze.add_argument("--top", type=int, default=8,
                          help="patterns to display")
@@ -298,13 +360,32 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-spy", action="store_true",
                          help="skip the spy plot")
 
-    add_matrix_command("compile", "run the full SPASM pipeline")
+    compile_p = add_matrix_command(
+        "compile", "run the full SPASM pipeline"
+    )
+    add_pipeline_flags(compile_p)
+    compile_p.add_argument("--json", action="store_true",
+                           help="emit the full result (per-stage trace "
+                                "included) as JSON")
+    compile_p.add_argument("--trace", default=None, metavar="FILE",
+                           help="write the per-stage pipeline trace to "
+                                "FILE as JSON")
+    compile_p.add_argument("--verify", action="store_true",
+                           help="mount the static verifier as a final "
+                                "pipeline pass")
     add_matrix_command("storage", "compare storage formats")
     add_matrix_command("compare", "compare modeled platforms")
 
     encode = add_matrix_command(
         "encode", "compile and persist a SPASM encoding"
     )
+    add_pipeline_flags(encode)
+    encode.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the per-stage pipeline trace to "
+                             "FILE as JSON")
+    encode.add_argument("--verify", action="store_true",
+                        help="mount the static verifier as a final "
+                             "pipeline pass")
     encode.add_argument("-o", "--output", default="matrix.spasm.npz",
                         help="output .npz path")
 
@@ -352,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--matrices", default=None,
         help="comma-separated workload subset (default: all 20)",
     )
+    add_pipeline_flags(reproduce)
     return parser
 
 

@@ -322,7 +322,9 @@ def _template_cell_arrays(portfolio: Portfolio, k: int) -> tuple:
 
 
 def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
-                 table: DecompositionTable = None) -> SpasmMatrix:
+                 table: DecompositionTable = None,
+                 masks: np.ndarray = None,
+                 sub_keys: np.ndarray = None) -> SpasmMatrix:
     """Encode a COO matrix into the SPASM data format (steps ③ + ④).
 
     Parameters
@@ -336,6 +338,13 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
     table:
         Optional pre-built :class:`DecompositionTable` for the portfolio
         (rebuilt when omitted).
+    masks, sub_keys:
+        Optional precomputed :func:`repro.core.patterns.submatrix_masks`
+        output for ``coo`` (row-major keys).  The pipeline's analysis
+        stage computes these once and threads them through, sparing the
+        encoder the per-submatrix occupancy reduction; they must belong
+        to the same matrix and pattern size or a ``ValueError`` is
+        raised.
     """
     k = portfolio.k
     tile_size = validate_tile_size(tile_size, k)
@@ -380,11 +389,6 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
     dense_vals = np.zeros((n_sub, k * k), dtype=np.float64)
     dense_vals[sub_of_entry, bit[order]] = coo.vals[order]
 
-    # Occupancy masks per submatrix (reuse the entry ordering).
-    bits_sorted = np.int64(1) << bit[order].astype(np.int64)
-    __, starts = np.unique(keys_sorted, return_index=True)
-    masks = np.bitwise_or.reduceat(bits_sorted, starts).astype(np.int64)
-
     # Submatrix coordinates recovered from the stream key.
     sub_cidx = unique_keys % spt
     rest = unique_keys // spt
@@ -392,6 +396,33 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
     rest = rest // spt
     sub_tile_c = rest % n_tile_cols
     sub_tile_r = rest // n_tile_cols
+
+    if masks is not None and sub_keys is not None:
+        # Reuse the analysis stage's row-major masks: map each stream
+        # submatrix to its row-major key and look the mask up.
+        masks = np.asarray(masks, dtype=np.int64)
+        sub_keys = np.asarray(sub_keys, dtype=np.int64)
+        rm_keys = (
+            (sub_tile_r * spt + sub_ridx) * nsubcols
+            + (sub_tile_c * spt + sub_cidx)
+        )
+        idx = np.searchsorted(sub_keys, rm_keys)
+        if (
+            masks.shape != sub_keys.shape
+            or sub_keys.size != n_sub
+            or np.any(idx >= sub_keys.size)
+            or not np.array_equal(sub_keys[idx], rm_keys)
+        ):
+            raise ValueError(
+                "precomputed masks/sub_keys do not match the matrix "
+                "being encoded (wrong matrix or pattern size?)"
+            )
+        masks = masks[idx]
+    else:
+        # Occupancy masks per submatrix (reuse the entry ordering).
+        bits_sorted = np.int64(1) << bit[order].astype(np.int64)
+        __, starts = np.unique(keys_sorted, return_index=True)
+        masks = np.bitwise_or.reduceat(bits_sorted, starts).astype(np.int64)
 
     # --- decomposition (step 3) ------------------------------------------
     subsets = table.subset_array(masks)
@@ -489,15 +520,23 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
 
 
 def groups_per_submatrix(coo: COOMatrix, table: DecompositionTable,
-                         k: int = DEFAULT_K) -> tuple:
+                         k: int = DEFAULT_K,
+                         masks: np.ndarray = None,
+                         sub_keys: np.ndarray = None) -> tuple:
     """Template-group count of every non-empty submatrix.
 
     Returns ``(counts, sub_keys)`` for
     :func:`repro.core.tiling.extract_global_composition`; this is the
     tile-size-independent part of the encoding that Algorithm 4 reuses
-    across its tile-size sweep.
+    across its tile-size sweep.  Passing the precomputed
+    :func:`repro.core.patterns.submatrix_masks` output skips the mask
+    recomputation (the pipeline's artifact-reuse path).
     """
-    masks, sub_keys = submatrix_masks(coo, k)
+    if masks is None or sub_keys is None:
+        masks, sub_keys = submatrix_masks(coo, k)
+    else:
+        masks = np.asarray(masks, dtype=np.int64)
+        sub_keys = np.asarray(sub_keys, dtype=np.int64)
     subsets = table.subset_array(masks)
     counts = _subset_sizes(subsets, len(table.masks))
     return counts, sub_keys

@@ -1,34 +1,46 @@
 """The end-to-end SPASM framework (paper Figure 6).
 
-:class:`SpasmCompiler` chains the preprocessing pipeline —
-① local pattern analysis, ② template pattern selection, ③ local pattern
-decomposition, ④ global composition analysis and ⑤ workload schedule
-exploration — into a :class:`SpasmProgram` ready for hardware execution
-(step ⑥, :mod:`repro.hw`), and times every stage the way Table VIII
-reports them.
+:class:`SpasmCompiler` is a thin facade over the pass-based pipeline in
+:mod:`repro.pipeline`: ① local pattern analysis, ② template pattern
+selection, ③ local pattern decomposition, ④ global composition analysis
+and ⑤ workload schedule exploration run as explicit passes exchanging
+typed artifacts, producing a :class:`SpasmProgram` ready for hardware
+execution (step ⑥, :mod:`repro.hw`).
+
+Every compile carries a structured
+:class:`~repro.pipeline.trace.PipelineTrace` (per-stage wall time,
+artifact sizes, cache hit/miss, bottleneck notes); the Table VIII style
+:class:`PreprocessReport` is a view over that trace.  Passing a
+``cache_dir`` turns on content-addressed caching of the analysis,
+selection, decomposition and schedule stages, and ``jobs`` parallelizes
+the Algorithm 4 sweep.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time
+from typing import List, Optional
 
-from repro.core.decompose import DecompositionTable
-from repro.core.format import (
-    SpasmMatrix,
-    encode_spasm,
-    groups_per_submatrix,
-)
-from repro.core.patterns import PatternHistogram, analyze_local_patterns
-from repro.core.schedule import (
-    DEFAULT_TILE_SIZES,
-    ScheduleResult,
-    explore_schedule,
-)
-from repro.core.selection import SelectionResult, select_portfolio
+from repro.core.format import SpasmMatrix
+from repro.core.patterns import PatternHistogram
+from repro.core.schedule import DEFAULT_TILE_SIZES, ScheduleResult
+from repro.core.selection import SelectionResult
 from repro.core.templates import Portfolio, candidate_portfolios
-from repro.core.tiling import extract_global_composition
+from repro.hw.configs import HwConfig
 from repro.matrix.coo import COOMatrix
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.passes import (
+    AnalysisPass,
+    CompilerPass,
+    DecompositionPass,
+    EncodePass,
+    SchedulePass,
+    SelectionPass,
+    VerifyPass,
+)
+from repro.pipeline.runner import PipelineRunner
+from repro.pipeline.trace import PipelineTrace
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,12 +50,27 @@ class PreprocessReport:
     Attributes map to the paper's circled stages (milliseconds):
     ``analysis_ms`` ①, ``selection_ms`` ②, ``decomposition_ms`` ③,
     ``schedule_ms`` ④⑤ (the paper reports the two jointly).
+
+    This is a *view* over the pipeline trace — construct it with
+    :meth:`from_trace`; the full per-stage records (cache outcomes,
+    artifact sizes, notes) live on
+    :attr:`SpasmProgram.trace`.
     """
 
     analysis_ms: float
     selection_ms: float
     decomposition_ms: float
     schedule_ms: float
+
+    @classmethod
+    def from_trace(cls, trace: PipelineTrace) -> "PreprocessReport":
+        """Project a pipeline trace onto the four Table VIII columns."""
+        return cls(
+            analysis_ms=trace.stage_ms("analysis"),
+            selection_ms=trace.stage_ms("selection"),
+            decomposition_ms=trace.stage_ms("decomposition"),
+            schedule_ms=trace.stage_ms("schedule"),
+        )
 
     @property
     def total_ms(self) -> float:
@@ -80,15 +107,18 @@ class SpasmProgram:
     schedule:
         Step ⑤ output (``None`` when tile size and config were forced).
     report:
-        Stage timing report.
+        Stage timing report (a view over :attr:`trace`).
+    trace:
+        The full per-stage pipeline trace of this compile.
     """
 
     spasm: SpasmMatrix
-    hw_config: object
+    hw_config: HwConfig
     histogram: PatternHistogram
-    selection: SelectionResult
-    schedule: ScheduleResult
+    selection: Optional[SelectionResult]
+    schedule: Optional[ScheduleResult]
     report: PreprocessReport
+    trace: Optional[PipelineTrace] = None
 
     @property
     def portfolio(self) -> Portfolio:
@@ -144,6 +174,17 @@ class SpasmCompiler:
     hazard_aware:
         Reorder each tile's group stream to space out partial-sum
         reuse (:func:`repro.hw.hazards.hazard_aware_reorder`).
+    jobs:
+        Threads for the Algorithm 4 tile-size sweep (deterministic:
+        any value selects the same point as the serial sweep).
+    cache_dir:
+        Directory for content-addressed caching of the analysis,
+        selection, decomposition and schedule artifacts; recompiling an
+        unchanged workload is then served from disk (``None`` disables).
+    verify:
+        Mount :mod:`repro.verify` as a final pipeline pass: each
+        compile statically checks the encoded stream and raises
+        :class:`~repro.core.format.FormatError` on any violation.
     """
 
     PORTFOLIO_STRATEGIES = ("candidates", "greedy", "combined")
@@ -152,15 +193,21 @@ class SpasmCompiler:
                  tile_sizes=DEFAULT_TILE_SIZES, k: int = 4,
                  selection_coverage: float = 0.95, perf_model=None,
                  portfolio_strategy: str = "candidates",
-                 hazard_aware: bool = False):
+                 hazard_aware: bool = False, jobs: int = 1,
+                 cache_dir=None, verify: bool = False):
         self.k = k
         if portfolio_strategy not in self.PORTFOLIO_STRATEGIES:
             raise ValueError(
                 f"unknown portfolio strategy {portfolio_strategy!r}; "
                 f"choose from {self.PORTFOLIO_STRATEGIES}"
             )
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.portfolio_strategy = portfolio_strategy
         self.hazard_aware = hazard_aware
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.verify = verify
         self.candidates = (
             list(candidates) if candidates is not None
             else candidate_portfolios(k)
@@ -178,9 +225,45 @@ class SpasmCompiler:
             perf_model = default_model
         self.perf_model = perf_model
 
-    def compile(self, coo: COOMatrix, fixed_portfolio: Portfolio = None,
-                fixed_tile_size: int = None,
-                fixed_hw_config=None) -> SpasmProgram:
+    def build_passes(self, fixed_portfolio: Optional[Portfolio] = None,
+                     fixed_tile_size: Optional[int] = None,
+                     fixed_hw_config: Optional[HwConfig] = None,
+                     ) -> List[CompilerPass]:
+        """The pass sequence one compile executes.
+
+        Exposed so callers can inspect, extend or re-run the pipeline
+        directly through :class:`~repro.pipeline.runner.PipelineRunner`.
+        """
+        passes: List[CompilerPass] = [
+            AnalysisPass(self.k),
+            SelectionPass(
+                self.k,
+                self.portfolio_strategy,
+                self.candidates,
+                self.selection_coverage,
+                fixed_portfolio=fixed_portfolio,
+            ),
+            DecompositionPass(self.k),
+            SchedulePass(
+                self.k,
+                self.tile_sizes,
+                self.hw_configs,
+                self.perf_model,
+                jobs=self.jobs,
+                fixed_tile_size=fixed_tile_size,
+                fixed_hw_config=fixed_hw_config,
+            ),
+            EncodePass(hazard_aware=self.hazard_aware),
+        ]
+        if self.verify:
+            passes.append(VerifyPass())
+        return passes
+
+    def compile(self, coo: COOMatrix,
+                fixed_portfolio: Optional[Portfolio] = None,
+                fixed_tile_size: Optional[int] = None,
+                fixed_hw_config: Optional[HwConfig] = None,
+                ) -> SpasmProgram:
         """Run steps ①-⑤ and encode the matrix.
 
         The ``fixed_*`` arguments disable individual optimization stages
@@ -190,90 +273,28 @@ class SpasmCompiler:
         if not isinstance(coo, COOMatrix):
             raise TypeError("SpasmCompiler.compile expects a COOMatrix")
 
-        # Step 1: local pattern analysis.
-        t0 = time.perf_counter()
-        histogram = analyze_local_patterns(coo, self.k)
-        t1 = time.perf_counter()
-
-        # Step 2: template pattern selection.
-        selection = None
-        if fixed_portfolio is not None:
-            portfolio = fixed_portfolio
-            table = DecompositionTable(portfolio)
-        elif self.portfolio_strategy == "candidates":
-            selection = select_portfolio(
-                histogram,
-                candidates=self.candidates,
-                coverage=self.selection_coverage,
-            )
-            portfolio = selection.portfolio
-            table = selection.table
-        else:
-            from repro.core.dynamic import (
-                GreedyPortfolioBuilder,
-                select_portfolio_dynamic,
-            )
-
-            if self.portfolio_strategy == "greedy":
-                portfolio = GreedyPortfolioBuilder(k=self.k).build(
-                    histogram
-                ).portfolio
-            else:  # combined
-                portfolio = select_portfolio_dynamic(
-                    histogram, candidates=self.candidates
-                )
-            table = DecompositionTable(portfolio)
-        t2 = time.perf_counter()
-
-        # Step 3: decompose all occurring patterns (tile-size independent).
-        counts, sub_keys = groups_per_submatrix(coo, table, self.k)
-        t3 = time.perf_counter()
-
-        # Steps 4+5: global composition analysis x schedule exploration.
-        schedule = None
-        if fixed_tile_size is not None and fixed_hw_config is not None:
-            tile_size = fixed_tile_size
-            hw_config = fixed_hw_config
-        else:
-            def composition_factory(tile_size):
-                return extract_global_composition(
-                    coo, counts, sub_keys, tile_size, self.k
-                )
-
-            hw_sweep = (
-                [fixed_hw_config]
-                if fixed_hw_config is not None
-                else self.hw_configs
-            )
-            tile_sweep = (
-                (fixed_tile_size,)
-                if fixed_tile_size is not None
-                else self.tile_sizes
-            )
-            schedule = explore_schedule(
-                composition_factory, hw_sweep, self.perf_model, tile_sweep
-            )
-            tile_size = schedule.best_tile_size
-            hw_config = schedule.best_hw_config
-        t4 = time.perf_counter()
-
-        spasm = encode_spasm(coo, portfolio, tile_size, table)
-        if self.hazard_aware:
-            from repro.hw.hazards import hazard_aware_reorder
-
-            spasm = hazard_aware_reorder(spasm)
-
-        report = PreprocessReport(
-            analysis_ms=(t1 - t0) * 1e3,
-            selection_ms=(t2 - t1) * 1e3,
-            decomposition_ms=(t3 - t2) * 1e3,
-            schedule_ms=(t4 - t3) * 1e3,
+        store = ArtifactStore()
+        store.put("coo", coo)
+        cache = (
+            ArtifactCache(self.cache_dir)
+            if self.cache_dir is not None
+            else None
+        )
+        runner = PipelineRunner(cache=cache)
+        trace = runner.run(
+            self.build_passes(
+                fixed_portfolio=fixed_portfolio,
+                fixed_tile_size=fixed_tile_size,
+                fixed_hw_config=fixed_hw_config,
+            ),
+            store,
         )
         return SpasmProgram(
-            spasm=spasm,
-            hw_config=hw_config,
-            histogram=histogram,
-            selection=selection,
-            schedule=schedule,
-            report=report,
+            spasm=store.require("spasm"),
+            hw_config=store.require("hw_config"),
+            histogram=store.require("histogram"),
+            selection=store.get("selection"),
+            schedule=store.get("schedule"),
+            report=PreprocessReport.from_trace(trace),
+            trace=trace,
         )

@@ -125,6 +125,17 @@ def analyze_local_patterns(matrix, k: int = DEFAULT_K) -> PatternHistogram:
     if k * k > 32:
         raise ValueError(f"pattern size {k} exceeds the 32-bit mask budget")
     masks, __ = submatrix_masks(matrix, k)
+    return histogram_from_masks(masks, k)
+
+
+def histogram_from_masks(masks: np.ndarray, k: int) -> PatternHistogram:
+    """Build the pattern histogram from precomputed submatrix masks.
+
+    The second half of Algorithm 2, split out so a pipeline stage that
+    already holds the :func:`submatrix_masks` output (and passes it on to
+    the encoder) does not recompute it.
+    """
+    masks = np.asarray(masks, dtype=np.int64)
     if masks.size == 0:
         return PatternHistogram(
             k, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)

@@ -11,6 +11,7 @@ cheapest (fewest estimated cycles) pair wins.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from repro.core.tiling import GlobalComposition, TilingError
 
@@ -21,12 +22,16 @@ DEFAULT_TILE_SIZES = (256, 512, 1024, 2048, 4096, 8192)
 
 @dataclasses.dataclass(frozen=True)
 class SchedulePoint:
-    """One evaluated (tile size, hardware configuration) pair."""
+    """One evaluated (tile size, hardware configuration) pair.
+
+    ``composition`` is ``None`` when the point was restored from the
+    artifact cache (the encoder never consumes it).
+    """
 
     tile_size: int
     hw_config: object
     cycles: float
-    composition: GlobalComposition
+    composition: Optional[GlobalComposition]
 
     @property
     def label(self) -> str:
@@ -79,8 +84,31 @@ class ScheduleResult:
         )
 
 
+def _evaluate_tile(composition_factory, tile_size, hw_configs,
+                   perf_model) -> list:
+    """Evaluate one tile size against every hardware configuration.
+
+    Returns the list of :class:`SchedulePoint` in ``hw_configs`` order,
+    or an empty list when the factory rejects the tile size.
+    """
+    try:
+        composition = composition_factory(tile_size)
+    except TilingError:
+        return []
+    return [
+        SchedulePoint(
+            tile_size=tile_size,
+            hw_config=hw_config,
+            cycles=float(perf_model(composition, hw_config, tile_size)),
+            composition=composition,
+        )
+        for hw_config in hw_configs
+    ]
+
+
 def explore_schedule(composition_factory, hw_configs, perf_model,
-                     tile_sizes=DEFAULT_TILE_SIZES) -> ScheduleResult:
+                     tile_sizes=DEFAULT_TILE_SIZES,
+                     jobs: int = 1) -> ScheduleResult:
     """Paper Algorithm 4: joint tile-size x hardware-config sweep.
 
     Parameters
@@ -98,28 +126,47 @@ def explore_schedule(composition_factory, hw_configs, perf_model,
         Callable ``(composition, hw_config, tile_size) -> cycles``.
     tile_sizes:
         Tile sizes to sweep.
+    jobs:
+        Evaluate tile sizes concurrently on up to this many threads
+        (the composition rebuild dominates and releases the GIL inside
+        numpy).  The reduction is deterministic: points are gathered in
+        sweep order before the strict-< minimum is taken, so any
+        ``jobs`` value selects exactly the point the serial sweep does.
     """
     hw_configs = list(hw_configs)
     if not hw_configs:
         raise ValueError("no hardware configurations supplied")
-    points = []
-    best = None
-    for tile_size in tile_sizes:
-        try:
-            composition = composition_factory(tile_size)
-        except TilingError:
-            continue
-        for hw_config in hw_configs:
-            cycles = float(perf_model(composition, hw_config, tile_size))
-            point = SchedulePoint(
-                tile_size=tile_size,
-                hw_config=hw_config,
-                cycles=cycles,
-                composition=composition,
+    tile_sizes = tuple(tile_sizes)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    if jobs == 1 or len(tile_sizes) <= 1:
+        per_tile = [
+            _evaluate_tile(
+                composition_factory, tile_size, hw_configs, perf_model
             )
-            points.append(point)
-            if best is None or cycles < best.cycles:
-                best = point
+            for tile_size in tile_sizes
+        ]
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(tile_sizes))
+        ) as pool:
+            per_tile = list(
+                pool.map(
+                    lambda ts: _evaluate_tile(
+                        composition_factory, ts, hw_configs, perf_model
+                    ),
+                    tile_sizes,
+                )
+            )
+
+    points = [point for tile_points in per_tile for point in tile_points]
+    best = None
+    for point in points:
+        if best is None or point.cycles < best.cycles:
+            best = point
     if best is None:
         raise ValueError(
             "no (tile size, hw config) point could be evaluated; "

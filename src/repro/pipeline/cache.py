@@ -1,0 +1,190 @@
+"""Content-addressed caching of pipeline artifacts.
+
+The paper's amortization argument (Table VIII) assumes preprocessing
+runs once and its outputs are reused; this module makes the reuse
+automatic.  Each cacheable pass derives a key from
+
+* the **matrix digest** — SHA-256 over the COO coordinate/value payload,
+* its own **config fingerprint** — the knobs that change its output
+  (k, candidate set, strategy, tile sweep, hardware list, perf model),
+* the **parent key** — the previous pass's cache key, so invalidation
+  chains: changing ``k`` re-keys analysis and thereby every downstream
+  stage.
+
+Entries are single ``.npz`` files named ``<stage>-<key>.npz`` inside the
+cache directory, written atomically (temp file + rename).  A corrupted
+or unreadable entry is treated as a miss and recomputed — the cache can
+never poison a compile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.templates import Portfolio, Template
+from repro.matrix.coo import COOMatrix
+
+#: Format marker written into every cache entry; bump to invalidate
+#: every existing cache on an incompatible layout change.
+CACHE_MAGIC = "spasm-cache-v1"
+
+#: Key length kept in file names (hex chars of the SHA-256).
+KEY_CHARS = 40
+
+
+def matrix_digest(coo: COOMatrix) -> str:
+    """Content digest of a COO matrix (shape + coordinates + values)."""
+    h = hashlib.sha256()
+    h.update(repr(tuple(coo.shape)).encode())
+    for arr in (coo.rows, coo.cols, coo.vals):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def fingerprint(payload: Any) -> str:
+    """Digest of a JSON-serializable configuration payload."""
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def chain_key(matrix_key: str, stage: str, config_fp: str,
+              parent_key: Optional[str]) -> str:
+    """Cache key of a stage: matrix x config x upstream chain."""
+    return fingerprint(
+        {
+            "magic": CACHE_MAGIC,
+            "matrix": matrix_key,
+            "stage": stage,
+            "config": config_fp,
+            "parent": parent_key or "",
+        }
+    )[:KEY_CHARS]
+
+
+def callable_id(fn: Any) -> str:
+    """Stable identity of an injected callable (e.g. a perf model)."""
+    module = getattr(fn, "__module__", type(fn).__module__)
+    name = getattr(fn, "__qualname__", type(fn).__qualname__)
+    return f"{module}.{name}"
+
+
+def hw_config_state(hw_config: Any) -> Dict[str, Any]:
+    """Fingerprint payload of one hardware configuration."""
+    state = {"name": getattr(hw_config, "name", str(hw_config))}
+    for attr in ("num_pe_groups", "num_xvec_ch", "frequency_hz"):
+        if hasattr(hw_config, attr):
+            state[attr] = getattr(hw_config, attr)
+    return state
+
+
+def portfolio_state(portfolio: Portfolio) -> Dict[str, Any]:
+    """JSON-ready payload that round-trips a portfolio."""
+    return {
+        "k": portfolio.k,
+        "name": portfolio.name,
+        "description": portfolio.description,
+        "masks": [t.mask for t in portfolio.templates],
+        "names": [t.name for t in portfolio.templates],
+        "kinds": [t.kind for t in portfolio.templates],
+    }
+
+
+def portfolio_from_state(state: Dict[str, Any]) -> Portfolio:
+    """Rebuild a portfolio from :func:`portfolio_state` output."""
+    templates = tuple(
+        Template(int(mask), str(name), str(kind))
+        for mask, name, kind in zip(
+            state["masks"], state["names"], state["kinds"]
+        )
+    )
+    return Portfolio(
+        templates,
+        k=int(state["k"]),
+        name=str(state["name"]),
+        description=str(state["description"]),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One loaded cache entry: array payload + JSON metadata."""
+
+    arrays: Dict[str, np.ndarray]
+    meta: Dict[str, Any]
+
+
+class ArtifactCache:
+    """Directory-backed content-addressed artifact cache."""
+
+    def __init__(self, cache_dir: Any):
+        self.cache_dir = os.fspath(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    def path(self, stage: str, key: str) -> str:
+        """Entry file path of a (stage, key) pair."""
+        return os.path.join(self.cache_dir, f"{stage}-{key}.npz")
+
+    def load(self, stage: str, key: str) -> Optional[CacheEntry]:
+        """The cached entry, or ``None`` on miss *or* corruption."""
+        path = self.path(stage, key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["__meta__"]))
+                if meta.get("magic") != CACHE_MAGIC:
+                    return None
+                arrays = {
+                    name: data[name].copy()
+                    for name in data.files
+                    if name != "__meta__"
+                }
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile):
+            # Corrupted or incompatible entry: recompute, then let the
+            # store() overwrite it with a good one.
+            return None
+        return CacheEntry(arrays=arrays, meta=meta)
+
+    def store(self, stage: str, key: str,
+              arrays: Dict[str, np.ndarray],
+              meta: Dict[str, Any]) -> None:
+        """Persist an entry atomically (temp file + rename)."""
+        payload = dict(meta)
+        payload["magic"] = CACHE_MAGIC
+        path = self.path(stage, key)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    __meta__=np.array(json.dumps(payload)),
+                    **arrays,
+                )
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> Tuple[str, ...]:
+        """File names of every entry currently in the cache."""
+        return tuple(
+            sorted(
+                name
+                for name in os.listdir(self.cache_dir)
+                if name.endswith(".npz")
+            )
+        )

@@ -12,6 +12,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.pipeline",
     "repro.matrix",
     "repro.hw",
     "repro.baselines",
@@ -78,6 +79,9 @@ def test_submodule_functions_documented():
         "repro.core.selection", "repro.core.framework",
         "repro.core.dynamic", "repro.core.reorder",
         "repro.core.serialize",
+        "repro.pipeline.artifacts", "repro.pipeline.cache",
+        "repro.pipeline.passes", "repro.pipeline.runner",
+        "repro.pipeline.trace",
         "repro.hw.opcode", "repro.hw.valu", "repro.hw.pe",
         "repro.hw.perf_model", "repro.hw.hazards",
         "repro.hw.fast_sim", "repro.hw.memory_image",

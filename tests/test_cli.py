@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -49,6 +51,50 @@ class TestCommands:
         assert "portfolio:" in out
         assert "GFLOP/s" in out
 
+    def test_compile_json_includes_trace(self, capsys):
+        assert main([
+            "compile", "t2em", "--scale", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matrix"] == "t2em"
+        assert payload["tile_size"] > 0
+        assert payload["report_ms"]["total"] > 0
+        stages = [e["name"] for e in payload["trace"]["events"]]
+        assert stages == [
+            "analysis", "selection", "decomposition", "schedule",
+            "encode",
+        ]
+
+    def test_compile_trace_file(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        assert main([
+            "compile", "t2em", "--scale", "0.2",
+            "--trace", str(trace_file),
+        ]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_file.read_text())
+        assert trace["total_ms"] > 0
+        assert {e["cache"] for e in trace["events"]} == {"off"}
+
+    def test_compile_cache_dir_cold_then_warm(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "compile", "t2em", "--scale", "0.2", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        assert "analysis=miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "analysis=hit" in out and "schedule=hit" in out
+
+    def test_compile_jobs_and_verify(self, capsys):
+        assert main([
+            "compile", "t2em", "--scale", "0.2", "--jobs", "2",
+            "--verify", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["events"][-1]["name"] == "verify"
+
     def test_storage(self, capsys):
         assert main(["storage", "t2em", "--scale", "0.3"]) == 0
         out = capsys.readouterr().out
@@ -77,6 +123,27 @@ class TestEncodeSpmv:
         capsys.readouterr()
         assert main(["spmv", out, "--hardware", "SPASM_3_2"]) == 0
         assert "SPASM_3_2" in capsys.readouterr().out
+
+    def test_encode_with_cache_and_trace(self, capsys, tmp_path):
+        out = str(tmp_path / "m.npz")
+        trace_file = tmp_path / "trace.json"
+        cache = str(tmp_path / "cache")
+        assert main([
+            "encode", "t2em", "--scale", "0.2", "-o", out,
+            "--cache-dir", cache, "--trace", str(trace_file),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = json.loads(trace_file.read_text())
+        cached = {
+            e["name"]: e["cache"]
+            for e in trace["events"]
+            if e["name"] in (
+                "analysis", "selection", "decomposition", "schedule"
+            )
+        }
+        assert set(cached.values()) == {"miss"}
+        assert main(["spmv", out]) == 0
+        assert "exact" in capsys.readouterr().out
 
     def test_spmv_missing_file(self, capsys):
         assert main(["spmv", "/no/such.npz"]) == 1

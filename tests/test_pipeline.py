@@ -1,0 +1,265 @@
+"""Tests for the pass-based compilation pipeline (repro.pipeline)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SpasmCompiler, candidate_portfolios
+from repro.core.framework import PreprocessReport
+from repro.hw import SPASM_3_4, SPASM_4_1
+from repro.pipeline import (
+    ArtifactError,
+    ArtifactStore,
+    CompilerPass,
+    DecompositionPass,
+    PipelineError,
+    PipelineRunner,
+    PipelineTrace,
+    StageEvent,
+)
+from tests.conftest import random_structured_coo
+
+TILE_SIZES = (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return SpasmCompiler(tile_sizes=TILE_SIZES)
+
+
+@pytest.fixture(scope="module")
+def program(compiler):
+    rng = np.random.default_rng(7)
+    return compiler.compile(random_structured_coo(rng, 96, "mixed"))
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self, small_coo):
+        store = ArtifactStore()
+        store.put("coo", small_coo)
+        assert store.get("coo") is small_coo
+        assert store.require("coo") is small_coo
+        assert store.has("coo")
+        assert store.names() == ("coo",)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown artifact"):
+            ArtifactStore().put("nonsense", 1)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ArtifactError, match="expects"):
+            ArtifactStore().put("tile_size", "sixteen")
+
+    def test_require_missing(self):
+        with pytest.raises(ArtifactError, match="not been produced"):
+            ArtifactStore().require("histogram")
+
+    def test_summarize_is_scalar_sized(self, small_coo):
+        store = ArtifactStore()
+        store.put("coo", small_coo)
+        store.put("masks", np.arange(5))
+        store.put("tile_size", 32)
+        summary = store.summarize(("coo", "masks", "tile_size", "spasm"))
+        assert summary["coo"] == {
+            "shape": list(small_coo.shape), "nnz": small_coo.nnz
+        }
+        assert summary["masks"] == 5
+        assert summary["tile_size"] == 32
+        assert "spasm" not in summary  # absent artifacts are skipped
+
+
+class TestRunnerContracts:
+    def test_missing_requires_raises(self, small_coo):
+        store = ArtifactStore()
+        store.put("coo", small_coo)
+        with pytest.raises(PipelineError, match="requires artifacts"):
+            PipelineRunner().run([DecompositionPass(4)], store)
+
+    def test_undelivered_provides_raises(self, small_coo):
+        class LazyPass(CompilerPass):
+            name = "analysis"
+            requires = ("coo",)
+            provides = ("masks",)
+
+            def run(self, store):
+                return "forgot to produce masks"
+
+        store = ArtifactStore()
+        store.put("coo", small_coo)
+        with pytest.raises(PipelineError, match="did not produce"):
+            PipelineRunner().run([LazyPass()], store)
+
+    def test_build_passes_default_sequence(self, compiler):
+        names = [p.name for p in compiler.build_passes()]
+        assert names == [
+            "analysis", "selection", "decomposition", "schedule",
+            "encode",
+        ]
+
+    def test_verify_pass_mounted(self):
+        names = [
+            p.name
+            for p in SpasmCompiler(
+                tile_sizes=TILE_SIZES, verify=True
+            ).build_passes()
+        ]
+        assert names[-1] == "verify"
+
+
+class TestTrace:
+    def test_every_stage_traced(self, program):
+        trace = program.trace
+        assert [e.name for e in trace] == [
+            "analysis", "selection", "decomposition", "schedule",
+            "encode",
+        ]
+        assert all(e.wall_ms >= 0 for e in trace)
+        assert all(e.cache == "off" for e in trace)
+
+    def test_stage_summaries(self, program):
+        analysis = program.trace.event("analysis")
+        assert analysis.inputs["coo"]["nnz"] > 0
+        assert analysis.outputs["masks"] > 0
+        assert "patterns" in analysis.note
+        encode = program.trace.event("encode")
+        assert encode.outputs["spasm"]["groups"] == \
+            program.spasm.n_groups
+
+    def test_missing_stage_helpers(self, program):
+        trace = program.trace
+        assert not trace.has_stage("verify")
+        assert trace.stage_ms("verify") == 0.0
+        assert trace.cache_status("verify") == "off"
+        with pytest.raises(KeyError):
+            trace.event("verify")
+
+    def test_total_and_json_roundtrip(self, program):
+        trace = program.trace
+        assert trace.total_ms == pytest.approx(
+            sum(e.wall_ms for e in trace)
+        )
+        payload = json.loads(trace.to_json())
+        assert [e["name"] for e in payload["events"]] == [
+            e.name for e in trace
+        ]
+        assert payload["total_ms"] == pytest.approx(trace.total_ms)
+        assert payload["cache_hits"] == 0
+
+    def test_render_lists_stages(self, program):
+        text = program.trace.render()
+        for stage in ("analysis", "selection", "schedule", "total"):
+            assert stage in text
+
+    def test_report_is_view_over_trace(self, program):
+        report = PreprocessReport.from_trace(program.trace)
+        assert report == program.report
+        assert report.analysis_ms == program.trace.stage_ms("analysis")
+        assert report.schedule_ms == program.trace.stage_ms("schedule")
+        # encode time is traced but not part of the Table VIII columns
+        assert report.total_ms <= program.trace.total_ms
+
+    def test_trace_event_to_dict(self):
+        event = StageEvent(name="x", wall_ms=1.5, note="n")
+        d = event.to_dict()
+        assert d == {
+            "name": "x", "wall_ms": 1.5, "cache": "off",
+            "inputs": {}, "outputs": {}, "note": "n",
+        }
+        assert PipelineTrace(events=(event,)).cache_hits == 0
+
+
+class TestArtifactReuse:
+    def test_masks_computed_exactly_once(self, rng, monkeypatch):
+        """Step ①'s submatrix scan must be the only one per compile."""
+        import repro.core.format as format_mod
+        import repro.core.patterns as patterns_mod
+        import repro.pipeline.passes as passes_mod
+
+        real = patterns_mod.submatrix_masks
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        for mod in (patterns_mod, format_mod, passes_mod):
+            monkeypatch.setattr(mod, "submatrix_masks", counting)
+
+        coo = random_structured_coo(rng, 96, "mixed")
+        program = SpasmCompiler(tile_sizes=TILE_SIZES).compile(coo)
+        assert len(calls) == 1
+        x = rng.random(coo.shape[1])
+        assert np.allclose(program.spasm.spmv(x), coo.spmv(x))
+
+    def test_masks_once_even_with_ablations(self, rng, monkeypatch):
+        import repro.core.format as format_mod
+        import repro.core.patterns as patterns_mod
+        import repro.pipeline.passes as passes_mod
+
+        real = patterns_mod.submatrix_masks
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        for mod in (patterns_mod, format_mod, passes_mod):
+            monkeypatch.setattr(mod, "submatrix_masks", counting)
+
+        coo = random_structured_coo(rng, 64, "mixed")
+        SpasmCompiler(tile_sizes=TILE_SIZES).compile(
+            coo,
+            fixed_portfolio=candidate_portfolios()[0],
+            fixed_tile_size=32,
+            fixed_hw_config=SPASM_4_1,
+        )
+        assert len(calls) == 1
+
+
+class TestParallelSchedule:
+    def test_jobs_match_serial(self, rng):
+        coo = random_structured_coo(rng, 128, "mixed")
+        serial = SpasmCompiler(tile_sizes=TILE_SIZES, jobs=1)
+        parallel = SpasmCompiler(tile_sizes=TILE_SIZES, jobs=4)
+        a = serial.compile(coo)
+        b = parallel.compile(coo)
+        assert a.tile_size == b.tile_size
+        assert a.hw_config.name == b.hw_config.name
+        assert [
+            (p.tile_size, p.hw_config.name, p.cycles)
+            for p in a.schedule.points
+        ] == [
+            (p.tile_size, p.hw_config.name, p.cycles)
+            for p in b.schedule.points
+        ]
+        assert np.array_equal(a.spasm.words, b.spasm.words)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SpasmCompiler(jobs=0)
+
+
+class TestVerifyPass:
+    def test_verify_stage_runs_clean(self, rng):
+        coo = random_structured_coo(rng, 64, "mixed")
+        program = SpasmCompiler(
+            tile_sizes=TILE_SIZES, verify=True
+        ).compile(coo)
+        assert program.trace.has_stage("verify")
+        assert "0 errors" in program.trace.event("verify").note
+
+
+class TestFacadeBehavior:
+    def test_fixed_hw_config_type(self, rng, compiler):
+        coo = random_structured_coo(rng, 64, "mixed")
+        program = compiler.compile(
+            coo, fixed_tile_size=32, fixed_hw_config=SPASM_3_4
+        )
+        assert program.hw_config is SPASM_3_4
+        assert program.schedule is None
+        assert program.trace.has_stage("schedule")  # traced, just fixed
+
+    def test_trace_attached_to_program(self, program):
+        assert isinstance(program.trace, PipelineTrace)
+        assert len(program.trace) == 5

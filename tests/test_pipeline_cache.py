@@ -1,0 +1,228 @@
+"""Tests for content-addressed caching of pipeline artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpasmCompiler
+from repro.pipeline import ArtifactCache, fingerprint, matrix_digest
+from repro.pipeline.cache import (
+    chain_key,
+    portfolio_from_state,
+    portfolio_state,
+)
+from tests.conftest import random_structured_coo
+
+TILE_SIZES = (16, 32, 64)
+CACHEABLE = ("analysis", "selection", "decomposition", "schedule")
+
+
+@pytest.fixture
+def coo(rng):
+    return random_structured_coo(rng, 96, "mixed")
+
+
+def cache_states(program):
+    return {
+        e.name: e.cache for e in program.trace if e.name in CACHEABLE
+    }
+
+
+class TestColdWarm:
+    def test_cold_then_warm(self, coo, tmp_path):
+        compiler = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        )
+        cold = compiler.compile(coo)
+        assert cache_states(cold) == {s: "miss" for s in CACHEABLE}
+        warm = compiler.compile(coo)
+        assert cache_states(warm) == {s: "hit" for s in CACHEABLE}
+        assert warm.trace.cache_hits == len(CACHEABLE)
+
+    def test_warm_program_byte_identical(self, coo, tmp_path):
+        compiler = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        )
+        cold = compiler.compile(coo)
+        warm = compiler.compile(coo)
+        assert np.array_equal(cold.spasm.words, warm.spasm.words)
+        assert np.array_equal(cold.spasm.values, warm.spasm.values)
+        assert cold.tile_size == warm.tile_size
+        assert cold.hw_config.name == warm.hw_config.name
+        assert cold.portfolio.name == warm.portfolio.name
+        assert warm.selection is not None
+        assert cold.selection.paddings == warm.selection.paddings
+        assert [
+            (p.tile_size, p.hw_config.name, p.cycles)
+            for p in cold.schedule.points
+        ] == [
+            (p.tile_size, p.hw_config.name, p.cycles)
+            for p in warm.schedule.points
+        ]
+
+    def test_warm_across_compiler_instances(self, coo, tmp_path):
+        a = SpasmCompiler(tile_sizes=TILE_SIZES, cache_dir=tmp_path)
+        b = SpasmCompiler(tile_sizes=TILE_SIZES, cache_dir=tmp_path)
+        cold = a.compile(coo)
+        warm = b.compile(coo)
+        assert cache_states(warm) == {s: "hit" for s in CACHEABLE}
+        assert np.array_equal(cold.spasm.words, warm.spasm.words)
+
+    def test_entries_on_disk(self, coo, tmp_path):
+        SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        ).compile(coo)
+        entries = ArtifactCache(tmp_path).entries()
+        stages = {name.split("-")[0] for name in entries}
+        assert stages == set(CACHEABLE)
+
+    def test_no_cache_dir_means_off(self, coo):
+        program = SpasmCompiler(tile_sizes=TILE_SIZES).compile(coo)
+        assert cache_states(program) == {s: "off" for s in CACHEABLE}
+
+
+class TestInvalidation:
+    def test_different_matrix_misses(self, rng, tmp_path):
+        compiler = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        )
+        compiler.compile(random_structured_coo(rng, 96, "mixed"))
+        other = compiler.compile(random_structured_coo(rng, 96, "mixed"))
+        assert cache_states(other) == {s: "miss" for s in CACHEABLE}
+
+    def test_k_change_invalidates_everything(self, coo, tmp_path):
+        SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        ).compile(coo)
+        program = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path, k=2
+        ).compile(coo)
+        assert cache_states(program) == {s: "miss" for s in CACHEABLE}
+
+    def test_strategy_change_keeps_analysis(self, coo, tmp_path):
+        SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        ).compile(coo)
+        program = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path,
+            portfolio_strategy="greedy",
+        ).compile(coo)
+        assert cache_states(program) == {
+            "analysis": "hit",
+            "selection": "miss",
+            "decomposition": "miss",
+            "schedule": "miss",
+        }
+
+    def test_tile_sweep_change_invalidates_schedule_only(
+        self, coo, tmp_path
+    ):
+        SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        ).compile(coo)
+        program = SpasmCompiler(
+            tile_sizes=(16, 32), cache_dir=tmp_path
+        ).compile(coo)
+        assert cache_states(program) == {
+            "analysis": "hit",
+            "selection": "hit",
+            "decomposition": "hit",
+            "schedule": "miss",
+        }
+
+    def test_fixed_portfolio_invalidates_downstream(
+        self, coo, tmp_path
+    ):
+        """A non-cacheable upstream pass still re-keys its children."""
+        from repro.core import candidate_portfolios
+
+        compiler = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        )
+        compiler.compile(coo)
+        program = compiler.compile(
+            coo, fixed_portfolio=candidate_portfolios()[1]
+        )
+        states = cache_states(program)
+        assert states["analysis"] == "hit"
+        assert states["selection"] == "off"  # ablation: not cacheable
+        assert states["decomposition"] == "miss"
+        assert states["schedule"] == "miss"
+
+    def test_jobs_share_cache_entries(self, coo, tmp_path):
+        """The thread count must not change cache keys."""
+        SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path, jobs=1
+        ).compile(coo)
+        program = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path, jobs=4
+        ).compile(coo)
+        assert cache_states(program) == {s: "hit" for s in CACHEABLE}
+
+
+class TestCorruption:
+    def test_corrupted_entry_recomputed(self, coo, tmp_path):
+        compiler = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        )
+        cold = compiler.compile(coo)
+        for path in tmp_path.glob("schedule-*.npz"):
+            path.write_bytes(b"this is not an npz archive")
+        program = compiler.compile(coo)
+        states = cache_states(program)
+        assert states["schedule"] == "miss"  # recomputed, re-stored
+        assert states["analysis"] == "hit"
+        assert np.array_equal(cold.spasm.words, program.spasm.words)
+        again = compiler.compile(coo)
+        assert cache_states(again)["schedule"] == "hit"
+
+    def test_truncated_entry_recomputed(self, coo, tmp_path):
+        compiler = SpasmCompiler(
+            tile_sizes=TILE_SIZES, cache_dir=tmp_path
+        )
+        compiler.compile(coo)
+        for path in tmp_path.glob("analysis-*.npz"):
+            path.write_bytes(path.read_bytes()[:20])
+        program = compiler.compile(coo)
+        assert cache_states(program)["analysis"] == "miss"
+
+    def test_load_missing_is_none(self, tmp_path):
+        assert ArtifactCache(tmp_path).load("analysis", "0" * 40) is None
+
+    def test_store_load_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        arrays = {"a": np.arange(4, dtype=np.int64)}
+        cache.store("analysis", "f" * 40, arrays, {"note": "hello"})
+        entry = cache.load("analysis", "f" * 40)
+        assert entry is not None
+        assert np.array_equal(entry.arrays["a"], arrays["a"])
+        assert entry.meta["note"] == "hello"
+
+
+class TestKeys:
+    def test_matrix_digest_content_addressed(self, rng):
+        coo = random_structured_coo(rng, 64, "mixed")
+        clone = type(coo).from_dense(coo.to_dense())
+        assert matrix_digest(coo) == matrix_digest(clone)
+        other = random_structured_coo(rng, 64, "mixed")
+        assert matrix_digest(coo) != matrix_digest(other)
+
+    def test_fingerprint_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2}) == \
+            fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_chain_key_depends_on_parent(self):
+        a = chain_key("m", "stage", "cfg", None)
+        b = chain_key("m", "stage", "cfg", "parent")
+        assert a != b
+        assert len(a) == 40
+
+    def test_portfolio_state_roundtrip(self):
+        from repro.core import candidate_portfolios
+
+        portfolio = candidate_portfolios()[2]
+        rebuilt = portfolio_from_state(portfolio_state(portfolio))
+        assert rebuilt.name == portfolio.name
+        assert rebuilt.k == portfolio.k
+        assert [t.mask for t in rebuilt.templates] == \
+            [t.mask for t in portfolio.templates]
