@@ -10,7 +10,8 @@ test:
 
 lint:
 	ruff check src tests examples
-	mypy src/repro/verify src/repro/pipeline src/repro/core/encoding.py
+	mypy src/repro/verify src/repro/pipeline src/repro/exec \
+	    src/repro/core/encoding.py
 
 verify:
 	python -m repro verify tmt_sym --scale 0.1
@@ -21,13 +22,18 @@ bench:
 
 # One synthetic workload through the full pipeline with the per-stage
 # trace written out — the CI smoke proof that compile + trace + JSON
-# reporting stay healthy (uploads BENCH_pipeline.json as an artifact).
+# reporting stay healthy (uploads BENCH_pipeline.json as an artifact) —
+# plus the execution-plan bench on tiny matrices: numeric divergence
+# between the plan and naive engines fails the build (BENCH_exec.json
+# is archived too; the 5x speedup gate only arms at full bench scale).
 bench-smoke:
 	python -m repro compile tmt_sym --scale 0.1 --json \
 	    --trace BENCH_pipeline.json > /dev/null
 	python -c "import json; t = json.load(open('BENCH_pipeline.json')); \
 	    print('\n'.join('%-14s %8.2f ms  cache=%s' % \
 	    (e['name'], e['wall_ms'], e['cache']) for e in t['events']))"
+	REPRO_BENCH_SCALE=0.04 pytest benchmarks/bench_exec_plan.py \
+	    --benchmark-disable -q
 
 reproduce:
 	python -m repro reproduce --out reproduction

@@ -1,0 +1,130 @@
+"""Extension: compiled execution plans vs the naive format execution.
+
+The reference ``SpasmMatrix.spmv_naive`` re-expands every stored slot
+to coordinates and accumulates with ``np.add.at`` on every call.  The
+:class:`~repro.exec.plan.ExecutionPlan` does that work once — padding
+dropped, stream sorted by output row, segment boundaries precomputed —
+so each call is a gather plus one ``np.add.reduceat``.  This bench
+measures the per-call win on three structurally distinct workload
+classes (diagonal stripes, dense blocks, scale-free graph), checks the
+engines agree numerically, and records the numbers in
+``BENCH_exec.json`` at the repo root for CI to archive.
+
+The ≥5x single-thread speedup acceptance gate applies to matrices at or
+above one million non-zeros, so the tiny CI smoke run (driven through a
+small ``REPRO_BENCH_SCALE``) checks agreement without timing noise
+flaking the build.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, publish
+from repro.analysis.report import format_table
+from repro.core import candidate_portfolios, encode_spasm
+from repro.synth import load_workload
+
+#: (workload, base scale): tmt_sym crosses 1e6 nnz — the acceptance
+#: headline; the other two cover dense-block and scale-free structure.
+CLASSES = (
+    ("tmt_sym", 25.0),
+    ("raefsky3", 4.0),
+    ("mycielskian14", 1.0),
+)
+SHARD_JOBS = 4
+RESULT_JSON = pathlib.Path(__file__).parent.parent / "BENCH_exec.json"
+
+
+def best_of(fn, repeats=3):
+    """Best wall time of ``repeats`` calls, in seconds."""
+    times = []
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def measure(name, scale):
+    coo = load_workload(name, scale=scale)
+    spasm = encode_spasm(coo, candidate_portfolios()[0], 32)
+    rng = np.random.default_rng(7)
+    x = rng.random(spasm.shape[1])
+
+    t0 = time.perf_counter()
+    plan = spasm.plan()
+    build_s = time.perf_counter() - t0
+
+    reference = spasm.spmv_naive(x)
+    agree = bool(np.allclose(plan.spmv(x), reference))
+
+    naive_s = best_of(lambda: spasm.spmv_naive(x))
+    plan_s = best_of(lambda: plan.spmv(x))
+    sharded_s = best_of(lambda: plan.spmv(x, jobs=SHARD_JOBS))
+    return {
+        "matrix": name,
+        "scale": scale,
+        "shape": list(coo.shape),
+        "nnz": int(coo.nnz),
+        "plan_slots": plan.n_slots,
+        "plan_build_ms": build_s * 1e3,
+        "naive_ms": naive_s * 1e3,
+        "plan_ms": plan_s * 1e3,
+        "sharded_ms": sharded_s * 1e3,
+        "speedup": naive_s / plan_s,
+        "sharded_speedup": naive_s / sharded_s,
+        "agree": agree,
+    }
+
+
+def test_exec_plan_speedup(benchmark):
+    scale = bench_scale()
+
+    def sweep():
+        return [
+            measure(name, base * scale) for name, base in CLASSES
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        ["matrix", "nnz", "naive ms", "plan ms",
+         f"jobs={SHARD_JOBS} ms", "speedup", "agree"],
+        [
+            [r["matrix"], r["nnz"], r["naive_ms"], r["plan_ms"],
+             r["sharded_ms"], r["speedup"],
+             "yes" if r["agree"] else "NO"]
+            for r in results
+        ],
+        title="Extension: compiled plan vs naive SpMV execution",
+        precision=2,
+    )
+    publish("exec_plan", table)
+
+    RESULT_JSON.write_text(
+        json.dumps(
+            {
+                "bench": "exec_plan",
+                "scale": scale,
+                "shard_jobs": SHARD_JOBS,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Numeric divergence between engines fails the build outright.
+    for r in results:
+        assert r["agree"], f"{r['matrix']}: plan diverges from naive"
+    # The acceptance gate: >=5x single-thread on a >=1e6-nnz matrix.
+    for r in results:
+        if r["nnz"] >= 1_000_000:
+            assert r["speedup"] >= 5.0, (
+                f"{r['matrix']}: {r['speedup']:.2f}x < 5x at "
+                f"{r['nnz']} nnz"
+            )

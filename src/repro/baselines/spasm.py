@@ -8,6 +8,10 @@ comparison plots for SPASM.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.baselines.base import AcceleratorModel
 from repro.core.framework import SpasmCompiler, SpasmProgram
 from repro.matrix.coo import COOMatrix
@@ -56,6 +60,23 @@ class SpasmModel(AcceleratorModel):
     def program(self, coo: COOMatrix) -> SpasmProgram:
         """The compiled program for a matrix."""
         return self.compile(coo)
+
+    def spmv(self, coo: COOMatrix, x: np.ndarray,
+             y: Optional[np.ndarray] = None,
+             jobs: int = 1) -> np.ndarray:
+        """Numerically execute ``y = A @ x + y`` on this platform.
+
+        Runs through the compiled matrix's cached
+        :class:`~repro.exec.plan.ExecutionPlan` — compile and plan
+        build both amortize across calls via the memoized program.
+        """
+        program = self.compile(coo)
+        plan = (
+            program.plan
+            if program.plan is not None
+            else program.spasm.plan()
+        )
+        return plan.spmv(x, y=y, jobs=jobs)
 
     def trace(self, coo: COOMatrix):
         """Per-stage :class:`~repro.pipeline.trace.PipelineTrace` of the

@@ -8,6 +8,7 @@
     python -m repro storage c-73              # Figure 11 format comparison
     python -m repro compare raefsky3          # throughput vs baselines
     python -m repro verify matrix.spasm.npz   # static invariant check
+    python -m repro run tmt_sym --engine plan # timed numeric SpMV runs
 
 A positional ``matrix`` argument is either a Table II workload name or
 a path to a Matrix Market ``.mtx`` file; ``--scale`` grows/shrinks the
@@ -223,6 +224,59 @@ def cmd_spmv(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_run(args) -> int:
+    """Numerically execute timed SpMV iterations on a matrix.
+
+    ``--engine naive`` re-expands the stream every call (the reference
+    execution); ``--engine plan`` compiles the
+    :class:`~repro.exec.plan.ExecutionPlan` once and runs the cached
+    gather + segment-reduce kernel, optionally sharded over ``--jobs``
+    threads.  Both engines are checked against each other before
+    timing; a numeric divergence exits 1.
+    """
+    import time
+
+    import numpy as np
+
+    coo = load_matrix(args.matrix, args.scale)
+    compiler = make_compiler(args)
+    program = compiler.compile(coo)
+    spasm = program.spasm
+    write_trace(args, program)
+    rng = np.random.default_rng(args.seed)
+    x = rng.random(spasm.shape[1])
+
+    reference = spasm.spmv_naive(x)
+    plan = spasm.plan()
+    if not np.allclose(plan.spmv(x, jobs=args.jobs), reference):
+        print("error: plan and naive engines diverge", file=sys.stderr)
+        return 1
+
+    if args.engine == "plan":
+        def step():
+            return plan.spmv(x, jobs=args.jobs)
+    else:
+        def step():
+            return spasm.spmv_naive(x)
+
+    times = []
+    for __ in range(args.repeat):
+        t0 = time.perf_counter()
+        step()
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    flops = 2 * spasm.source_nnz + spasm.shape[0]
+    print(f"matrix:   {args.matrix} shape={spasm.shape} "
+          f"nnz={spasm.source_nnz}")
+    print(f"engine:   {args.engine} (jobs={args.jobs})")
+    if args.engine == "plan":
+        print(f"plan:     {plan.describe()}")
+    print(f"timing:   best {best * 1e3:.3f} ms of {args.repeat} runs "
+          f"({flops / best / 1e9:.2f} GFLOP/s)")
+    print("check:    plan vs naive engines agree")
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Statically verify a SPASM artifact without simulating it."""
     from repro.verify import verify_memory_image, verify_spasm
@@ -389,6 +443,23 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("-o", "--output", default="matrix.spasm.npz",
                         help="output .npz path")
 
+    run = add_matrix_command(
+        "run", "timed numeric SpMV runs through a chosen engine"
+    )
+    add_pipeline_flags(run)
+    run.add_argument("--engine", default="plan",
+                     choices=["naive", "plan"],
+                     help="'naive' re-expands the stream per call; "
+                          "'plan' runs the compiled execution plan "
+                          "(default)")
+    run.add_argument("--repeat", type=int, default=5,
+                     help="timed iterations (the best is reported)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="seed for the random x vector")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="write the per-stage pipeline trace to FILE "
+                          "as JSON")
+
     spmv = sub.add_parser(
         "spmv", help="run one simulated SpMV from a saved encoding"
     )
@@ -444,6 +515,7 @@ COMMANDS = {
     "storage": cmd_storage,
     "compare": cmd_compare,
     "encode": cmd_encode,
+    "run": cmd_run,
     "spmv": cmd_spmv,
     "verify": cmd_verify,
     "reproduce": cmd_reproduce,

@@ -20,6 +20,7 @@ and the later slots are zero padding, so decoding never double counts.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.core.patterns import submatrix_masks
 from repro.core.templates import Portfolio
 from repro.core.tiling import GlobalComposition, validate_tile_size
 from repro.matrix.coo import COOMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.plan import ExecutionPlan
 
 
 class FormatError(ValueError):
@@ -156,7 +160,7 @@ class SpasmMatrix:
             return 0.0
         return self.storage_bytes() / self.source_nnz
 
-    def validate(self, source: COOMatrix = None) -> list:
+    def validate(self, source: Optional[COOMatrix] = None) -> list:
         """Check the structural invariants of the encoding.
 
         Delegates to the static verifier (:mod:`repro.verify`), which
@@ -194,11 +198,20 @@ class SpasmMatrix:
         return np.diff(self.tile_ptr)
 
     def global_composition(self) -> GlobalComposition:
-        """The tile-level view of this encoding."""
-        nnz = np.array(
-            [int(np.count_nonzero(t.values)) for t in self.tiles()],
-            dtype=np.int64,
-        )
+        """The tile-level view of this encoding.
+
+        Vectorized: the per-tile non-zero counts are one
+        ``np.add.reduceat`` over the tile directory instead of a Python
+        loop over :meth:`tiles` (this runs inside every
+        ``perf_breakdown`` call path).
+        """
+        if self.n_tiles:
+            nnz = np.add.reduceat(
+                np.count_nonzero(self.values, axis=1),
+                self.tile_ptr[:-1],
+            ).astype(np.int64)
+        else:
+            nnz = np.zeros(0, dtype=np.int64)
         return GlobalComposition(
             shape=self.shape,
             k=self.k,
@@ -235,12 +248,69 @@ class SpasmMatrix:
         keep = vals != 0.0
         return COOMatrix(rows[keep], cols[keep], vals[keep], self.shape)
 
-    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
-        """Software reference execution of the format: ``y = A @ x + y``.
+    def stream_digest(self) -> str:
+        """Content digest of the encoded stream (plan cache key)."""
+        from repro.exec.plan import stream_digest
 
-        This mirrors what the VALU datapath computes (padding slots
-        multiply by zero and vanish); the hardware functional simulator
-        in :mod:`repro.hw` must agree with it exactly.
+        return stream_digest(self)
+
+    def plan(self, cache=None) -> "ExecutionPlan":
+        """The compiled :class:`~repro.exec.plan.ExecutionPlan`.
+
+        Built lazily and cached on the matrix, keyed on the stream
+        content (:meth:`stream_digest`): mutating any stored array
+        invalidates the cached plan on the next call.  Passing an
+        :class:`~repro.pipeline.cache.ArtifactCache` additionally
+        persists the plan on disk, so rebuilding an identical stream —
+        in this or any other process — is a load, not a compile.
+
+        Revalidation digests the whole stream, so hot loops should call
+        ``plan()`` once and hold the result (the solvers' operator
+        wrapper and the sharded executor already do).
+        """
+        from repro.exec.plan import ExecutionPlan, stream_digest
+
+        digest = stream_digest(self)
+        cached = self.__dict__.get("_plan")
+        if cached is not None and cached.digest == digest:
+            return cached
+        built = ExecutionPlan.build(self, cache=cache, digest=digest)
+        self._plan = built
+        return built
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
+             jobs: int = 1) -> np.ndarray:
+        """Execution of the format: ``y = A @ x + y``.
+
+        Delegates to the lazily cached :meth:`plan` — a gather plus a
+        sorted segment reduction; repeated calls on the same matrix
+        never re-expand the stream.  ``jobs`` runs the plan's row-block
+        shards on a thread pool (bitwise identical for any value).  The
+        un-compiled reference path survives as :meth:`spmv_naive`; the
+        hardware functional simulator in :mod:`repro.hw` must agree
+        with both (padding slots multiply by zero and vanish).
+        """
+        return self.plan().spmv(x, y=y, jobs=jobs)
+
+    def spmm(self, x_block: np.ndarray,
+             y_block: Optional[np.ndarray] = None, jobs: int = 1,
+             ) -> np.ndarray:
+        """Multi-vector execution ``Y = A @ X + Y`` via the plan.
+
+        The sparse stream is gathered once per vector block — the
+        A-stream amortization that
+        :func:`repro.hw.perf_model.perf_breakdown_spmm` models.  The
+        un-compiled reference survives as :meth:`spmm_naive`.
+        """
+        return self.plan().spmm(x_block, y_block=y_block, jobs=jobs)
+
+    def spmv_naive(self, x: np.ndarray,
+                   y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reference execution re-expanding the stream on every call.
+
+        Kept as the plan's correctness oracle and the benchmark
+        baseline: expand to per-slot coordinates, then scatter-add with
+        ``np.add.at``.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
@@ -264,14 +334,14 @@ class SpasmMatrix:
         np.add.at(y_pad, rows, vals * x_pad[cols])
         return y_pad[: y.size]
 
-    def spmm(self, x_block: np.ndarray,
-             y_block: np.ndarray = None) -> np.ndarray:
-        """Multi-vector execution: ``Y = A @ X + Y`` (extension).
+    def spmm_naive(self, x_block: np.ndarray,
+                   y_block: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reference multi-vector execution (per-call expansion).
 
         ``x_block`` is ``(ncols, n_vectors)``.  The sparse matrix is
         streamed once while each template group issues one VALU
-        operation per vector — the A-stream amortization that
-        :func:`repro.hw.perf_model.perf_breakdown_spmm` models.
+        operation per vector; kept as the :meth:`spmm` plan's
+        correctness oracle and benchmark baseline.
         """
         x_block = np.asarray(x_block, dtype=np.float64)
         if x_block.ndim != 2 or x_block.shape[0] != self.shape[1]:
@@ -322,9 +392,9 @@ def _template_cell_arrays(portfolio: Portfolio, k: int) -> tuple:
 
 
 def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
-                 table: DecompositionTable = None,
-                 masks: np.ndarray = None,
-                 sub_keys: np.ndarray = None) -> SpasmMatrix:
+                 table: Optional[DecompositionTable] = None,
+                 masks: Optional[np.ndarray] = None,
+                 sub_keys: Optional[np.ndarray] = None) -> SpasmMatrix:
     """Encode a COO matrix into the SPASM data format (steps ③ + ④).
 
     Parameters
@@ -521,8 +591,8 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
 
 def groups_per_submatrix(coo: COOMatrix, table: DecompositionTable,
                          k: int = DEFAULT_K,
-                         masks: np.ndarray = None,
-                         sub_keys: np.ndarray = None) -> tuple:
+                         masks: Optional[np.ndarray] = None,
+                         sub_keys: Optional[np.ndarray] = None) -> tuple:
     """Template-group count of every non-empty submatrix.
 
     Returns ``(counts, sub_keys)`` for

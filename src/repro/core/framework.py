@@ -26,6 +26,7 @@ from repro.core.patterns import PatternHistogram
 from repro.core.schedule import DEFAULT_TILE_SIZES, ScheduleResult
 from repro.core.selection import SelectionResult
 from repro.core.templates import Portfolio, candidate_portfolios
+from repro.exec.plan import ExecutionPlan
 from repro.hw.configs import HwConfig
 from repro.matrix.coo import COOMatrix
 from repro.pipeline.artifacts import ArtifactStore
@@ -35,6 +36,7 @@ from repro.pipeline.passes import (
     CompilerPass,
     DecompositionPass,
     EncodePass,
+    PlanPass,
     SchedulePass,
     SelectionPass,
     VerifyPass,
@@ -110,6 +112,11 @@ class SpasmProgram:
         Stage timing report (a view over :attr:`trace`).
     trace:
         The full per-stage pipeline trace of this compile.
+    plan:
+        The compiled :class:`~repro.exec.plan.ExecutionPlan`
+        (``None`` unless the compiler was built with
+        ``build_plan=True``; the matrix still compiles one lazily on
+        first :meth:`~repro.core.format.SpasmMatrix.spmv`).
     """
 
     spasm: SpasmMatrix
@@ -119,6 +126,7 @@ class SpasmProgram:
     schedule: Optional[ScheduleResult]
     report: PreprocessReport
     trace: Optional[PipelineTrace] = None
+    plan: Optional[ExecutionPlan] = None
 
     @property
     def portfolio(self) -> Portfolio:
@@ -185,6 +193,11 @@ class SpasmCompiler:
         Mount :mod:`repro.verify` as a final pipeline pass: each
         compile statically checks the encoded stream and raises
         :class:`~repro.core.format.FormatError` on any violation.
+    build_plan:
+        Append the :class:`~repro.pipeline.passes.PlanPass`: each
+        compile also builds (and, with ``cache_dir``, persists) the
+        numeric :class:`~repro.exec.plan.ExecutionPlan`, available as
+        :attr:`SpasmProgram.plan`.
     """
 
     PORTFOLIO_STRATEGIES = ("candidates", "greedy", "combined")
@@ -194,7 +207,8 @@ class SpasmCompiler:
                  selection_coverage: float = 0.95, perf_model=None,
                  portfolio_strategy: str = "candidates",
                  hazard_aware: bool = False, jobs: int = 1,
-                 cache_dir=None, verify: bool = False):
+                 cache_dir=None, verify: bool = False,
+                 build_plan: bool = False):
         self.k = k
         if portfolio_strategy not in self.PORTFOLIO_STRATEGIES:
             raise ValueError(
@@ -208,6 +222,7 @@ class SpasmCompiler:
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.verify = verify
+        self.build_plan = build_plan
         self.candidates = (
             list(candidates) if candidates is not None
             else candidate_portfolios(k)
@@ -257,6 +272,8 @@ class SpasmCompiler:
         ]
         if self.verify:
             passes.append(VerifyPass())
+        if self.build_plan:
+            passes.append(PlanPass())
         return passes
 
     def compile(self, coo: COOMatrix,
@@ -297,4 +314,5 @@ class SpasmCompiler:
             schedule=store.get("schedule"),
             report=PreprocessReport.from_trace(trace),
             trace=trace,
+            plan=store.get("plan"),
         )

@@ -1,0 +1,27 @@
+"""Compiled SpMV execution plans (software step ⑥ fast path).
+
+The format's reference execution (:meth:`repro.core.format.SpasmMatrix`
+``.spmv``) re-expands the stream into per-slot coordinates on every
+call.  This package compiles a matrix-specific :class:`ExecutionPlan`
+*once* — coordinates expanded, padding slots dropped, the stream sorted
+by output row, segment boundaries precomputed — so every subsequent
+SpMV is a pure gather + ``np.add.reduceat`` segment reduction, and a
+multi-RHS SpMM reuses the same plan with one gather per vector block.
+
+Plans are content-keyed (:func:`stream_digest`), cached lazily on the
+matrix, optionally persisted through the pipeline's artifact cache, and
+executable on a thread pool in deterministic row-block shards
+(``plan.spmv(x, jobs=N)`` is bitwise identical for every ``N``).
+"""
+
+from repro.exec.plan import (
+    ExecutionPlan,
+    PLAN_STAGE,
+    stream_digest,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "PLAN_STAGE",
+    "stream_digest",
+]

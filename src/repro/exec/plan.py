@@ -1,0 +1,429 @@
+"""Matrix-specific compiled execution plans for SPASM SpMV/SpMM.
+
+An :class:`ExecutionPlan` is the software analogue of AlphaSparse's
+matrix-specific kernel artifact: everything about executing ``y = A @ x``
+that depends only on the *matrix* is computed once at build time, so the
+per-call work is the minimum the memory system allows.
+
+Build time (once per matrix)
+    * expand every stored slot to ``(row, col, value)`` coordinates,
+    * drop padding slots (``value == 0`` contributes nothing),
+    * stable-sort the stream by output row,
+    * record the segment boundary of each non-empty output row.
+
+Call time (every SpMV)
+    * gather ``vals * x[cols]`` (one sequential read of the plan, one
+      indexed read of ``x``),
+    * ``np.add.reduceat`` over the precomputed segment boundaries,
+    * scatter the per-row sums into ``y`` (each row written exactly
+      once — no atomic/unbuffered accumulation anywhere).
+
+Sharding splits the *segments* (output rows) into contiguous blocks of
+roughly equal slot count; shards write disjoint rows, and each segment
+is reduced by the same ``reduceat`` call sequence regardless of the
+shard grid, so ``spmv(x, jobs=N)`` is bitwise identical for every
+``N``.  See ``docs/EXEC.md`` for the full layout and semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Stage name used for persisted plan artifacts (``plan-<key>.npz``
+#: entries in a :class:`repro.pipeline.cache.ArtifactCache`).
+PLAN_STAGE = "plan"
+
+#: A shard below this many slots is not worth a thread dispatch; small
+#: plans collapse to the serial path no matter what ``jobs`` says.
+MIN_SHARD_SLOTS = 16384
+
+#: Upper bound on ``slots x vectors`` elements materialized by one SpMM
+#: gather block (8M float64 elements = 64 MiB scratch).
+SPMM_BLOCK_ELEMS = 1 << 23
+
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _pool(workers: int) -> ThreadPoolExecutor:
+    """A shared thread pool per worker count (created once, reused)."""
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"spasm-exec-{workers}",
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def stream_digest(spasm: Any) -> str:
+    """Content digest of an encoded stream (plan cache key).
+
+    Covers everything the plan depends on: logical shape, pattern size,
+    tile size, the portfolio's template masks, the tile directory and
+    the full position/value payload.  Two matrices with equal digests
+    build identical plans; mutating any stored array re-keys the plan.
+    """
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                tuple(spasm.shape),
+                int(spasm.k),
+                int(spasm.tile_size),
+                tuple(int(m) for m in spasm.portfolio.masks),
+            )
+        ).encode()
+    )
+    for arr in (
+        spasm.tile_rows,
+        spasm.tile_cols,
+        spasm.tile_ptr,
+        spasm.words,
+        spasm.values,
+    ):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """A compiled gather/segment-reduce schedule for one matrix.
+
+    Attributes
+    ----------
+    shape:
+        Logical matrix shape ``(nrows, ncols)``.
+    cols:
+        Column index of every non-padding slot, stream order stably
+        sorted by output row (the gather indices into ``x``).
+    vals:
+        Matching slot values (the gather multiplicands).
+    seg_starts:
+        Offset into ``cols``/``vals`` where each output-row segment
+        begins (``n_segments`` entries, strictly increasing).
+    seg_rows:
+        Output row of each segment (strictly increasing, all within
+        the matrix — padding never carries values past the edge).
+    digest:
+        :func:`stream_digest` of the source stream; the cache key and
+        the invalidation token of lazily cached plans.
+    source_nnz:
+        Non-zero count of the source matrix (throughput accounting).
+    """
+
+    shape: Tuple[int, int]
+    cols: np.ndarray
+    vals: np.ndarray
+    seg_starts: np.ndarray
+    seg_rows: np.ndarray
+    digest: str
+    source_nnz: int
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, spasm: Any, cache: Any = None,
+              digest: Optional[str] = None) -> "ExecutionPlan":
+        """Compile a plan for a :class:`~repro.core.format.SpasmMatrix`.
+
+        ``cache`` is an optional
+        :class:`~repro.pipeline.cache.ArtifactCache`: the built plan is
+        persisted as a ``plan-<key>.npz`` artifact keyed on the stream
+        digest, and a later build of an identical stream — in this or
+        any other process — is served from disk.
+        """
+        if digest is None:
+            digest = stream_digest(spasm)
+        if cache is not None:
+            cached = cls._from_cache(spasm, cache, digest)
+            if cached is not None:
+                return cached
+        plan = cls._compile(spasm, digest)
+        if cache is not None:
+            plan._to_cache(cache)
+        return plan
+
+    @classmethod
+    def _compile(cls, spasm: Any, digest: str) -> "ExecutionPlan":
+        """The actual build: expand, drop padding, sort, segment."""
+        rows, cols, vals = spasm._expand()
+        keep = vals != 0.0
+        rows = rows[keep]
+        cols = cols[keep]
+        vals = vals[keep]
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        seg_rows, seg_starts = np.unique(rows, return_index=True)
+        return cls(
+            shape=(int(spasm.shape[0]), int(spasm.shape[1])),
+            cols=np.ascontiguousarray(cols[order], dtype=np.int64),
+            vals=np.ascontiguousarray(vals[order], dtype=np.float64),
+            seg_starts=seg_starts.astype(np.int64),
+            seg_rows=seg_rows.astype(np.int64),
+            digest=digest,
+            source_nnz=int(spasm.source_nnz),
+        )
+
+    @classmethod
+    def _from_cache(cls, spasm: Any, cache: Any,
+                    digest: str) -> Optional["ExecutionPlan"]:
+        """Load a persisted plan; ``None`` on miss or a stale entry."""
+        entry = cache.load(PLAN_STAGE, digest[:40])
+        if entry is None:
+            return None
+        try:
+            cols = entry.arrays["cols"].astype(np.int64)
+            vals = entry.arrays["vals"].astype(np.float64)
+            seg_starts = entry.arrays["seg_starts"].astype(np.int64)
+            seg_rows = entry.arrays["seg_rows"].astype(np.int64)
+            meta_digest = str(entry.meta["digest"])
+            shape = (int(entry.meta["nrows"]), int(entry.meta["ncols"]))
+            source_nnz = int(entry.meta["source_nnz"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if (
+            meta_digest != digest
+            or shape != (int(spasm.shape[0]), int(spasm.shape[1]))
+            or cols.shape != vals.shape
+            or seg_starts.shape != seg_rows.shape
+        ):
+            return None
+        return cls(
+            shape=shape,
+            cols=cols,
+            vals=vals,
+            seg_starts=seg_starts,
+            seg_rows=seg_rows,
+            digest=digest,
+            source_nnz=source_nnz,
+        )
+
+    def _to_cache(self, cache: Any) -> None:
+        """Persist this plan as a content-addressed artifact."""
+        cache.store(
+            PLAN_STAGE,
+            self.digest[:40],
+            {
+                "cols": self.cols,
+                "vals": self.vals,
+                "seg_starts": self.seg_starts,
+                "seg_rows": self.seg_rows,
+            },
+            {
+                "digest": self.digest,
+                "nrows": self.shape[0],
+                "ncols": self.shape[1],
+                "source_nnz": self.source_nnz,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Non-padding slots the plan streams per SpMV."""
+        return int(self.vals.size)
+
+    @property
+    def n_segments(self) -> int:
+        """Non-empty output rows (segment count)."""
+        return int(self.seg_rows.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the plan arrays."""
+        return int(
+            self.cols.nbytes
+            + self.vals.nbytes
+            + self.seg_starts.nbytes
+            + self.seg_rows.nbytes
+        )
+
+    def describe(self) -> str:
+        """One-line summary for traces and CLI output."""
+        return (
+            f"plan[{self.shape[0]}x{self.shape[1]}]: "
+            f"{self.n_slots} slots over {self.n_segments} row segments, "
+            f"{self.nbytes / 1e6:.1f} MB"
+        )
+
+    def diagonal(self) -> np.ndarray:
+        """The matrix diagonal (for Jacobi-style preconditioning)."""
+        n = min(self.shape)
+        rows = np.repeat(self.seg_rows, self._seg_counts())
+        on_diag = rows == self.cols
+        return np.bincount(
+            rows[on_diag],
+            weights=self.vals[on_diag],
+            minlength=n,
+        )[:n]
+
+    def _seg_counts(self) -> np.ndarray:
+        """Slot count of each segment."""
+        return np.diff(np.append(self.seg_starts, self.n_slots))
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+
+    def shard_bounds(self, jobs: int) -> List[Tuple[int, int]]:
+        """Contiguous segment ranges of roughly equal slot count.
+
+        The grid is a pure function of the plan and ``jobs``; tiny
+        plans collapse to one shard so thread dispatch never costs more
+        than it saves.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if (
+            jobs == 1
+            or self.n_segments < 2
+            or self.n_slots < 2 * MIN_SHARD_SLOTS
+        ):
+            return [(0, self.n_segments)]
+        targets = (
+            self.n_slots * np.arange(1, jobs, dtype=np.float64) / jobs
+        )
+        cuts = np.searchsorted(self.seg_starts, targets)
+        bounds = np.unique(
+            np.concatenate(([0], cuts, [self.n_segments]))
+        )
+        return [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(bounds.size - 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
+             jobs: int = 1) -> np.ndarray:
+        """Execute ``y = A @ x + y`` through the compiled plan.
+
+        ``jobs > 1`` runs the row-block shards on a shared thread pool;
+        the result is bitwise identical to ``jobs=1`` (shards write
+        disjoint rows and every segment reduces through the exact same
+        ``reduceat`` sequence).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"x of shape {x.shape} incompatible with {self.shape}"
+            )
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        shards = self.shard_bounds(jobs)
+        if len(shards) == 1:
+            self._run_shard(out, x, 0, self.n_segments)
+        else:
+            futures = [
+                _pool(len(shards)).submit(self._run_shard, out, x, lo, hi)
+                for lo, hi in shards
+            ]
+            for future in futures:
+                future.result()
+        if y is not None:
+            y = np.asarray(y, dtype=np.float64)
+            if y.shape != out.shape:
+                raise ValueError(
+                    f"y of shape {y.shape} incompatible with {self.shape}"
+                )
+            out += y
+        return out
+
+    def _run_shard(self, out: np.ndarray, x: np.ndarray, lo: int,
+                   hi: int) -> None:
+        """Gather + segment-reduce segments ``[lo, hi)`` into ``out``."""
+        if lo >= hi:
+            return
+        s0 = int(self.seg_starts[lo])
+        s1 = (
+            int(self.seg_starts[hi])
+            if hi < self.n_segments
+            else self.n_slots
+        )
+        gathered = np.take(x, self.cols[s0:s1])
+        gathered *= self.vals[s0:s1]
+        out[self.seg_rows[lo:hi]] = np.add.reduceat(
+            gathered, self.seg_starts[lo:hi] - s0
+        )
+
+    def spmm(self, x_block: np.ndarray,
+             y_block: Optional[np.ndarray] = None, jobs: int = 1,
+             block_size: Optional[int] = None) -> np.ndarray:
+        """Execute ``Y = A @ X + Y`` reusing the plan across vectors.
+
+        Vectors are processed in blocks (one gather per block bounds
+        the scratch memory at roughly ``SPMM_BLOCK_ELEMS`` float64
+        elements); within each block the segment reduction is sharded
+        exactly like :meth:`spmv`, so the result is independent of
+        ``jobs``.
+        """
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim != 2 or x_block.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"X of shape {x_block.shape} incompatible with "
+                f"{self.shape}"
+            )
+        n_vectors = x_block.shape[1]
+        out = np.zeros((self.shape[0], n_vectors), dtype=np.float64)
+        if block_size is None:
+            block_size = max(
+                1, SPMM_BLOCK_ELEMS // max(self.n_slots, 1)
+            )
+        block_size = max(1, min(int(block_size), max(n_vectors, 1)))
+        shards = self.shard_bounds(jobs)
+        for j0 in range(0, n_vectors, block_size):
+            j1 = min(j0 + block_size, n_vectors)
+            # One gather per vector block: the A-stream amortization.
+            gathered = x_block[self.cols, j0:j1]
+            gathered *= self.vals[:, None]
+            if len(shards) == 1:
+                self._reduce_block(out, gathered, j0, j1, 0,
+                                   self.n_segments)
+            else:
+                futures = [
+                    _pool(len(shards)).submit(
+                        self._reduce_block, out, gathered, j0, j1, lo, hi
+                    )
+                    for lo, hi in shards
+                ]
+                for future in futures:
+                    future.result()
+        if y_block is not None:
+            y_block = np.asarray(y_block, dtype=np.float64)
+            if y_block.shape != out.shape:
+                raise ValueError(
+                    f"Y of shape {y_block.shape} incompatible with "
+                    f"{(self.shape[0], n_vectors)}"
+                )
+            out += y_block
+        return out
+
+    def _reduce_block(self, out: np.ndarray, gathered: np.ndarray,
+                      j0: int, j1: int, lo: int, hi: int) -> None:
+        """Segment-reduce one gathered vector block for shard [lo, hi)."""
+        if lo >= hi:
+            return
+        s0 = int(self.seg_starts[lo])
+        s1 = (
+            int(self.seg_starts[hi])
+            if hi < self.n_segments
+            else self.n_slots
+        )
+        out[self.seg_rows[lo:hi], j0:j1] = np.add.reduceat(
+            gathered[s0:s1], self.seg_starts[lo:hi] - s0, axis=0
+        )

@@ -11,6 +11,7 @@ check of the format + opcode + datapath stack.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 import numpy as np
 
@@ -66,16 +67,19 @@ class SpasmAccelerator:
     def __init__(self, config: HwConfig):
         self.config = config
 
-    def run(self, spasm: SpasmMatrix, x: np.ndarray, y: np.ndarray = None,
-            engine: str = "event", verify: bool = False) -> SimResult:
+    def run(self, spasm: SpasmMatrix, x: np.ndarray,
+            y: Optional[np.ndarray] = None,
+            engine: str = "event", verify: bool = False,
+            jobs: int = 1) -> SimResult:
         """Simulate ``y = A @ x + y`` for a SPASM-encoded matrix.
 
         ``engine="event"`` walks every group through the opcode-decoded
         VALU datapath (the verification path); ``engine="fast"`` uses
         the vectorized :mod:`repro.hw.fast_sim` equivalent — identical
         results and accounting, orders of magnitude faster on large
-        matrices.  ``verify=True`` statically checks the stream and its
-        opcode LUT first, raising
+        matrices, with ``jobs`` sharding the numeric execution plan
+        over a thread pool.  ``verify=True`` statically checks the
+        stream and its opcode LUT first, raising
         :class:`~repro.verify.diagnostics.VerificationError` listing
         every violation before any cycle is simulated.
         """
@@ -84,7 +88,7 @@ class SpasmAccelerator:
         if engine == "fast":
             from repro.hw.fast_sim import fast_run
 
-            return fast_run(spasm, self.config, x, y)
+            return fast_run(spasm, self.config, x, y, jobs=jobs)
         if engine != "event":
             raise ValueError(
                 f"unknown engine {engine!r}; choose 'event' or 'fast'"
@@ -164,21 +168,21 @@ class SpasmAccelerator:
         report.raise_if_errors()
 
     def run_spmm(self, spasm: SpasmMatrix, x_block: np.ndarray,
-                 y_block: np.ndarray = None,
-                 verify: bool = False) -> SimResult:
+                 y_block: Optional[np.ndarray] = None,
+                 verify: bool = False, jobs: int = 1) -> SimResult:
         """Simulate a multi-vector run ``Y = A @ X + Y`` (extension).
 
-        Numeric output comes from the format's exact SpMM semantics;
+        Numeric output comes from the format's exact SpMM semantics
+        (through the compiled plan, one gather per vector block);
         cycles from :func:`repro.hw.perf_model.perf_breakdown_spmm`
         (the A stream read once, compute/x/y scaled by the batch).
         ``verify=True`` behaves as in :meth:`run`.
         """
         if verify:
             self._verify(spasm)
-        from repro.hw.perf_model import assign_tiles as assign
         from repro.hw.perf_model import perf_breakdown_spmm
 
-        y_out = spasm.spmm(x_block, y_block)
+        y_out = spasm.spmm(x_block, y_block, jobs=jobs)
         n_vectors = y_out.shape[1]
         breakdown = perf_breakdown_spmm(
             spasm.global_composition(), self.config, n_vectors,
@@ -187,7 +191,7 @@ class SpasmAccelerator:
         cycles = breakdown.total_cycles
         time_s = cycles / self.config.frequency_hz
         flops = (2 * spasm.source_nnz + spasm.shape[0]) * n_vectors
-        owner = assign(spasm.groups_per_tile(), self.config.num_pes)
+        owner = assign_tiles(spasm.groups_per_tile(), self.config.num_pes)
         pe_groups = np.bincount(
             owner,
             weights=spasm.groups_per_tile(),

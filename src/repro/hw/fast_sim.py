@@ -16,6 +16,8 @@ asserted in ``tests/test_fast_sim.py``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.format import SpasmMatrix
@@ -24,8 +26,14 @@ from repro.hw.perf_model import assign_tiles, perf_breakdown
 
 
 def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
-             y: np.ndarray = None):
-    """Vectorized equivalent of :meth:`SpasmAccelerator.run`."""
+             y: Optional[np.ndarray] = None, jobs: int = 1):
+    """Vectorized equivalent of :meth:`SpasmAccelerator.run`.
+
+    The numeric result runs through the matrix's compiled
+    :class:`~repro.exec.plan.ExecutionPlan` (built lazily, cached on
+    the matrix, ``jobs`` shards on a thread pool); repeated simulations
+    of the same matrix never re-expand the stream.
+    """
     from repro.hw.accelerator import SimResult
 
     x = np.asarray(x, dtype=np.float64)
@@ -34,7 +42,7 @@ def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
             f"x of shape {x.shape} incompatible with {spasm.shape}"
         )
     if y is None:
-        y_out = np.zeros(spasm.shape[0], dtype=np.float64)
+        y_out = None
     else:
         y_out = np.array(y, dtype=np.float64)
         if y_out.shape != (spasm.shape[0],):
@@ -42,8 +50,8 @@ def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
                 f"y of shape {y_out.shape} incompatible with {spasm.shape}"
             )
 
-    # Numeric result: software execution of the format (exact).
-    y_out = spasm.spmv(x, y_out)
+    # Numeric result: compiled execution of the format (exact).
+    y_out = spasm.plan().spmv(x, y_out, jobs=jobs)
 
     # Schedule and per-PE accounting, mirroring the event simulator.
     groups_per_tile = spasm.groups_per_tile()

@@ -19,6 +19,7 @@ from repro.core.patterns import PatternHistogram
 from repro.core.schedule import ScheduleResult
 from repro.core.selection import SelectionResult
 from repro.core.templates import Portfolio
+from repro.exec.plan import ExecutionPlan
 from repro.matrix.coo import COOMatrix
 
 
@@ -45,6 +46,9 @@ ARTIFACT_SCHEMA: Dict[str, Tuple[Any, str]] = {
     "hw_config": (object, "selected hardware configuration"),
     "spasm": (object, "the encoded SpasmMatrix"),
     "verify_report": (object, "static verifier report (opt-in pass)"),
+    "plan": (
+        ExecutionPlan, "compiled SpMV execution plan (opt-in pass)"
+    ),
 }
 
 

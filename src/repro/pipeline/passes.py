@@ -18,6 +18,7 @@ decomposition   ③       group_counts
 schedule        ④⑤      schedule, tile_size, hw_config
 encode          —       spasm
 verify          —       verify_report (opt-in)
+plan            ⑥ prep  plan (opt-in)
 ==============  ======  ==========================================
 """
 
@@ -508,6 +509,84 @@ class EncodePass(CompilerPass):
             f"{spasm.n_groups} groups, padding rate "
             f"{spasm.padding_rate:.2%}{note}"
         )
+
+
+class PlanPass(CompilerPass):
+    """Opt-in step ⑥ preparation — compile the numeric execution plan.
+
+    Builds the encoded matrix's
+    :class:`~repro.exec.plan.ExecutionPlan` (expand once, drop padding,
+    sort by output row, precompute segment boundaries) so the program
+    ships ready for gather + segment-reduce execution.  Cache entries
+    are keyed through the normal chain key but additionally carry the
+    stream digest — a stale entry (any stored array changed) is
+    rejected and recompiled.
+    """
+
+    name = "plan"
+    requires = ("spasm",)
+    provides = ("plan",)
+    cacheable = True
+
+    def run(self, store: ArtifactStore) -> str:
+        spasm = store.require("spasm")
+        plan = spasm.plan()
+        store.put("plan", plan)
+        return plan.describe()
+
+    def to_cache(self, store: ArtifactStore):
+        plan = store.require("plan")
+        return (
+            {
+                "cols": plan.cols,
+                "vals": plan.vals,
+                "seg_starts": plan.seg_starts,
+                "seg_rows": plan.seg_rows,
+            },
+            {
+                "digest": plan.digest,
+                "nrows": plan.shape[0],
+                "ncols": plan.shape[1],
+                "source_nnz": plan.source_nnz,
+            },
+        )
+
+    def from_cache(self, store: ArtifactStore,
+                   entry: CacheEntry) -> bool:
+        from repro.exec.plan import ExecutionPlan, stream_digest
+
+        spasm = store.require("spasm")
+        digest = stream_digest(spasm)
+        try:
+            cols = entry.arrays["cols"].astype(np.int64)
+            vals = entry.arrays["vals"].astype(np.float64)
+            seg_starts = entry.arrays["seg_starts"].astype(np.int64)
+            seg_rows = entry.arrays["seg_rows"].astype(np.int64)
+            meta_digest = str(entry.meta["digest"])
+            shape = (int(entry.meta["nrows"]), int(entry.meta["ncols"]))
+            source_nnz = int(entry.meta["source_nnz"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        if (
+            meta_digest != digest
+            or shape != (int(spasm.shape[0]), int(spasm.shape[1]))
+            or cols.shape != vals.shape
+            or seg_starts.shape != seg_rows.shape
+        ):
+            return False
+        store.put(
+            "plan",
+            ExecutionPlan(
+                shape=shape,
+                cols=cols,
+                vals=vals,
+                seg_starts=seg_starts,
+                seg_rows=seg_rows,
+                digest=digest,
+                source_nnz=source_nnz,
+            ),
+        )
+        return True
 
 
 class VerifyPass(CompilerPass):

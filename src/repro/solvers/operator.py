@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.core.format import SpasmMatrix
 from repro.core.framework import SpasmProgram
+from repro.exec.plan import ExecutionPlan
 from repro.matrix.base import SparseMatrix
 
 
@@ -66,25 +67,29 @@ def _coo_diagonal(coo):
     return diagonal
 
 
-def as_operator(source) -> LinearOperator:
+def as_operator(source, jobs: int = 1) -> LinearOperator:
     """Coerce any supported SpMV backend into a :class:`LinearOperator`.
 
     Accepts: an existing operator, any :class:`SparseMatrix`
     (COO/CSR/...), a :class:`SpasmMatrix`, a compiled
-    :class:`SpasmProgram`, or a dense 2-D ndarray.
+    :class:`ExecutionPlan`, a compiled :class:`SpasmProgram`, or a
+    dense 2-D ndarray.  SPASM sources compile their execution plan
+    *once* here, so every solver iteration is a plain gather +
+    segment-reduce; ``jobs`` shards each matvec on a thread pool.
     """
     if isinstance(source, LinearOperator):
         return source
     if isinstance(source, SpasmProgram):
-        source = source.spasm
+        source = source.plan if source.plan is not None else source.spasm
     if isinstance(source, SpasmMatrix):
-        spasm = source
-
-        def diagonal():
-            coo = spasm.to_coo()
-            return _coo_diagonal(coo)()
-
-        return LinearOperator(spasm.shape, spasm.spmv, diagonal)
+        source = source.plan()
+    if isinstance(source, ExecutionPlan):
+        plan = source
+        return LinearOperator(
+            plan.shape,
+            lambda x: plan.spmv(x, jobs=jobs),
+            plan.diagonal,
+        )
     if isinstance(source, SparseMatrix):
         from repro.matrix.coo import COOMatrix
 

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.pipeline",
+    "repro.exec",
     "repro.matrix",
     "repro.hw",
     "repro.baselines",
