@@ -1,6 +1,6 @@
 # Convenience targets for the SPASM reproduction.
 
-.PHONY: install test lint verify bench bench-smoke reproduce examples clean
+.PHONY: install test lint verify bench bench-smoke faults-smoke reproduce examples clean
 
 install:
 	pip install -e .
@@ -34,6 +34,16 @@ bench-smoke:
 	    (e['name'], e['wall_ms'], e['cache']) for e in t['events']))"
 	REPRO_BENCH_SCALE=0.04 pytest benchmarks/bench_exec_plan.py \
 	    --benchmark-disable -q
+
+# Seeded fault-injection campaign (smoke preset, ~56 injections across
+# stream/value/plan/cache/worker/image surfaces).  A single escaped
+# fault — a silently wrong SpMV output — exits nonzero and fails the
+# build; BENCH_faults.json is archived as a CI artifact.  Overhead is
+# measured at full scale by the checked-in full campaign
+# (benchmarks/results/faults_campaign.json), not here.
+faults-smoke:
+	python -m repro faults --campaign smoke --no-overhead --quiet \
+	    --out BENCH_faults.json
 
 reproduce:
 	python -m repro reproduce --out reproduction

@@ -252,9 +252,17 @@ def cmd_run(args) -> int:
         print("error: plan and naive engines diverge", file=sys.stderr)
         return 1
 
+    guard = None
     if args.engine == "plan":
         def step():
             return plan.spmv(x, jobs=args.jobs)
+    elif args.engine == "guarded":
+        from repro.resilience import ExecutionGuard
+
+        guard = ExecutionGuard(spasm, seed=args.seed)
+
+        def step():
+            return guard.spmv(x, jobs=args.jobs)
     else:
         def step():
             return spasm.spmv_naive(x)
@@ -269,11 +277,16 @@ def cmd_run(args) -> int:
     print(f"matrix:   {args.matrix} shape={spasm.shape} "
           f"nnz={spasm.source_nnz}")
     print(f"engine:   {args.engine} (jobs={args.jobs})")
-    if args.engine == "plan":
+    if args.engine in ("plan", "guarded"):
         print(f"plan:     {plan.describe()}")
     print(f"timing:   best {best * 1e3:.3f} ms of {args.repeat} runs "
           f"({flops / best / 1e9:.2f} GFLOP/s)")
     print("check:    plan vs naive engines agree")
+    if guard is not None:
+        incidents = len(guard.log)
+        print(f"guard:    {incidents} incident(s) logged")
+        if incidents:
+            print(guard.log.render())
     return 0
 
 
@@ -309,6 +322,59 @@ def cmd_verify(args) -> int:
         args.strict and bool(report.warnings)
     )
     return 1 if failed else 0
+
+
+def cmd_faults(args) -> int:
+    """Run a seeded fault-injection campaign over the guard layer.
+
+    Injects one deterministic fault per trial across every surface
+    (stream, value, plan, cache, worker, image), executes through the
+    resilience guard, and classifies each outcome.  Any *escaped*
+    fault — a silently wrong answer — exits 1; so does a blown
+    overhead budget under ``--enforce-overhead``.
+    """
+    import json
+
+    from repro.resilience import run_campaign
+    from repro.resilience.campaign import render_report, write_report
+
+    def progress(line):
+        if not args.quiet:
+            print(f"  .. {line}", file=sys.stderr)
+
+    report = run_campaign(
+        preset=args.campaign,
+        seed=args.seed,
+        overhead=not args.no_overhead,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote campaign report to {args.out}", file=sys.stderr)
+    if not report["zero_escapes"]:
+        print(
+            f"error: {report['totals']['escaped']} fault(s) escaped "
+            "detection (silently wrong output)",
+            file=sys.stderr,
+        )
+        return 1
+    overhead = report.get("overhead")
+    if (
+        args.enforce_overhead
+        and overhead is not None
+        and not overhead["within_budget"]
+    ):
+        print(
+            f"error: guard overhead {overhead['overhead_pct']:.2f}% "
+            f"exceeds the {overhead['budget_pct']:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_reproduce(args) -> int:
@@ -448,10 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_pipeline_flags(run)
     run.add_argument("--engine", default="plan",
-                     choices=["naive", "plan"],
+                     choices=["naive", "plan", "guarded"],
                      help="'naive' re-expands the stream per call; "
                           "'plan' runs the compiled execution plan "
-                          "(default)")
+                          "(default); 'guarded' adds the resilience "
+                          "guard (integrity checks + fallback)")
     run.add_argument("--repeat", type=int, default=5,
                      help="timed iterations (the best is reported)")
     run.add_argument("--seed", type=int, default=0,
@@ -492,6 +559,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat warnings as errors in the exit "
                              "code")
 
+    faults = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign over the resilience "
+             "guard (an escaped fault exits 1)",
+    )
+    faults.add_argument("--campaign", default="smoke",
+                        choices=["smoke", "full"],
+                        help="preset: 'smoke' (~56 injections, CI) or "
+                             "'full' (220 injections, overhead "
+                             "measured at the benchmark scale)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="master seed; the campaign is a pure "
+                             "function of it")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON on stdout")
+    faults.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    faults.add_argument("--no-overhead", action="store_true",
+                        help="skip the clean-path overhead "
+                             "measurement")
+    faults.add_argument("--enforce-overhead", action="store_true",
+                        help="exit 1 when guard overhead exceeds the "
+                             "budget")
+    faults.add_argument("--quiet", action="store_true",
+                        help="suppress per-surface progress lines")
+
     reproduce = sub.add_parser(
         "reproduce",
         help="regenerate the headline evaluation tables in one pass",
@@ -518,6 +611,7 @@ COMMANDS = {
     "run": cmd_run,
     "spmv": cmd_spmv,
     "verify": cmd_verify,
+    "faults": cmd_faults,
     "reproduce": cmd_reproduce,
 }
 
@@ -529,10 +623,16 @@ def main(argv=None) -> int:
     malformed artifact, invariant violation) exits 1 with the message
     on stderr; nothing is swallowed into a 0 exit.
     """
+    import zipfile
+
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)
-    except (OSError, KeyError, ValueError) as exc:
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (OSError, KeyError, ValueError,
+            zipfile.BadZipFile) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -17,11 +17,15 @@ executable on a thread pool in deterministic row-block shards
 from repro.exec.plan import (
     ExecutionPlan,
     PLAN_STAGE,
+    plan_checksum,
+    set_shard_fault_hook,
     stream_digest,
 )
 
 __all__ = [
     "ExecutionPlan",
     "PLAN_STAGE",
+    "plan_checksum",
+    "set_shard_fault_hook",
     "stream_digest",
 ]

@@ -30,8 +30,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,63 @@ SPMM_BLOCK_ELEMS = 1 << 23
 
 _POOLS: Dict[int, ThreadPoolExecutor] = {}
 _POOL_LOCK = threading.Lock()
+
+#: Fault-injection hook consulted at the start of every shard dispatch
+#: (``hook(lo, hi)``); ``None`` on the clean path.  Installed by
+#: :func:`repro.resilience.faults.worker_fault` to kill/stall/delay
+#: shard workers deterministically — a single global read per shard,
+#: free when unset.
+_SHARD_HOOK: Optional[Callable[[int, int], None]] = None
+
+
+def set_shard_fault_hook(
+    hook: Optional[Callable[[int, int], None]],
+) -> Optional[Callable[[int, int], None]]:
+    """Install (or clear) the shard fault hook; returns the previous."""
+    global _SHARD_HOOK
+    previous = _SHARD_HOOK
+    _SHARD_HOOK = hook
+    return previous
+
+
+def plan_checksum(cols: np.ndarray, vals: np.ndarray,
+                  seg_starts: np.ndarray, seg_rows: np.ndarray,
+                  shape: Tuple[int, int]) -> str:
+    """SHA-256 over a plan's executable arrays.
+
+    Computed once at build time and carried on the plan; re-computing
+    it (:meth:`ExecutionPlan.validate`) catches any post-build
+    corruption of the gather indices, values or segment pointers.
+    """
+    h = hashlib.sha256()
+    h.update(repr((int(shape[0]), int(shape[1]))).encode())
+    for arr in (cols, vals, seg_starts, seg_rows):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _join_shards(futures: Sequence["Future[None]"]) -> None:
+    """Collect shard futures, containing worker failures.
+
+    On the first worker exception (or a ``KeyboardInterrupt`` landing
+    mid-wait) every not-yet-started shard is cancelled and every
+    running one is drained, so no orphaned shard keeps writing into the
+    output buffer after the call unwinds; the original exception is
+    then re-raised unchanged.
+    """
+    try:
+        for future in futures:
+            future.result()
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        for future in futures:
+            if not future.cancelled():
+                try:
+                    future.result()
+                except BaseException:
+                    pass  # secondary failures: the first one wins
+        raise
 
 
 def _pool(workers: int) -> ThreadPoolExecutor:
@@ -118,6 +175,10 @@ class ExecutionPlan:
         the invalidation token of lazily cached plans.
     source_nnz:
         Non-zero count of the source matrix (throughput accounting).
+    checksum:
+        :func:`plan_checksum` of the executable arrays at build time;
+        :meth:`validate` recomputes and compares it to detect any
+        later corruption before the arrays are dispatched.
     """
 
     shape: Tuple[int, int]
@@ -127,6 +188,7 @@ class ExecutionPlan:
     seg_rows: np.ndarray
     digest: str
     source_nnz: int
+    checksum: str = ""
 
     # ------------------------------------------------------------------
     # construction
@@ -165,23 +227,39 @@ class ExecutionPlan:
         order = np.argsort(rows, kind="stable")
         rows = rows[order]
         seg_rows, seg_starts = np.unique(rows, return_index=True)
+        shape = (int(spasm.shape[0]), int(spasm.shape[1]))
+        cols = np.ascontiguousarray(cols[order], dtype=np.int64)
+        vals = np.ascontiguousarray(vals[order], dtype=np.float64)
+        seg_starts = seg_starts.astype(np.int64)
+        seg_rows = seg_rows.astype(np.int64)
         return cls(
-            shape=(int(spasm.shape[0]), int(spasm.shape[1])),
-            cols=np.ascontiguousarray(cols[order], dtype=np.int64),
-            vals=np.ascontiguousarray(vals[order], dtype=np.float64),
-            seg_starts=seg_starts.astype(np.int64),
-            seg_rows=seg_rows.astype(np.int64),
+            shape=shape,
+            cols=cols,
+            vals=vals,
+            seg_starts=seg_starts,
+            seg_rows=seg_rows,
             digest=digest,
             source_nnz=int(spasm.source_nnz),
+            checksum=plan_checksum(cols, vals, seg_starts, seg_rows,
+                                   shape),
         )
 
     @classmethod
     def _from_cache(cls, spasm: Any, cache: Any,
                     digest: str) -> Optional["ExecutionPlan"]:
-        """Load a persisted plan; ``None`` on miss or a stale entry."""
+        """Load a persisted plan; ``None`` on miss or a stale entry.
+
+        A stale or internally inconsistent entry (the byte payload is
+        intact — :class:`~repro.pipeline.cache.ArtifactCache` already
+        checksums that — but its content no longer matches this stream
+        or its own recorded plan checksum) is quarantined before the
+        miss is reported, so it is never consulted again.
+        """
         entry = cache.load(PLAN_STAGE, digest[:40])
         if entry is None:
             return None
+        reason = None
+        plan = None
         try:
             cols = entry.arrays["cols"].astype(np.int64)
             vals = entry.arrays["vals"].astype(np.float64)
@@ -190,24 +268,34 @@ class ExecutionPlan:
             meta_digest = str(entry.meta["digest"])
             shape = (int(entry.meta["nrows"]), int(entry.meta["ncols"]))
             source_nnz = int(entry.meta["source_nnz"])
-        except (KeyError, TypeError, ValueError):
-            return None
-        if (
-            meta_digest != digest
-            or shape != (int(spasm.shape[0]), int(spasm.shape[1]))
-            or cols.shape != vals.shape
-            or seg_starts.shape != seg_rows.shape
-        ):
-            return None
-        return cls(
-            shape=shape,
-            cols=cols,
-            vals=vals,
-            seg_starts=seg_starts,
-            seg_rows=seg_rows,
-            digest=digest,
-            source_nnz=source_nnz,
-        )
+            checksum = str(entry.meta.get("plan_checksum", ""))
+        except (KeyError, TypeError, ValueError) as exc:
+            reason = f"malformed plan entry: {exc}"
+        else:
+            if meta_digest != digest:
+                reason = "stale plan entry: stream digest mismatch"
+            else:
+                plan = cls(
+                    shape=shape,
+                    cols=cols,
+                    vals=vals,
+                    seg_starts=seg_starts,
+                    seg_rows=seg_rows,
+                    digest=digest,
+                    source_nnz=source_nnz,
+                    checksum=checksum,
+                )
+                problems = plan.validate()
+                if shape != (int(spasm.shape[0]),
+                             int(spasm.shape[1])):
+                    problems.append("shape mismatch vs stream")
+                if problems:
+                    reason = "; ".join(problems)
+                    plan = None
+        if plan is None and hasattr(cache, "quarantine"):
+            cache.quarantine(PLAN_STAGE, digest[:40],
+                             reason=reason or "invalid plan entry")
+        return plan
 
     def _to_cache(self, cache: Any) -> None:
         """Persist this plan as a content-addressed artifact."""
@@ -225,6 +313,7 @@ class ExecutionPlan:
                 "nrows": self.shape[0],
                 "ncols": self.shape[1],
                 "source_nnz": self.source_nnz,
+                "plan_checksum": self.checksum,
             },
         )
 
@@ -259,6 +348,80 @@ class ExecutionPlan:
             f"{self.n_slots} slots over {self.n_segments} row segments, "
             f"{self.nbytes / 1e6:.1f} MB"
         )
+
+    def validate(self) -> List[str]:
+        """Integrity check of the executable arrays; problems found.
+
+        Verifies the structural invariants every kernel dispatch relies
+        on (shape agreement, strictly increasing segment pointers and
+        rows, in-range gather indices, finite values) and then recomputes
+        :func:`plan_checksum` against the build-time :attr:`checksum`.
+        An empty list means the plan is safe to dispatch; any entry
+        names the violated invariant.  Used by the resilience guard
+        before execution and surfaced as ``plan.*`` diagnostics by
+        :func:`repro.verify.verify_plan`.
+        """
+        problems: List[str] = []
+        if self.cols.ndim != 1 or self.cols.shape != self.vals.shape:
+            problems.append(
+                f"cols/vals shape mismatch: {self.cols.shape} vs "
+                f"{self.vals.shape}"
+            )
+        if self.seg_starts.shape != self.seg_rows.shape:
+            problems.append(
+                f"seg_starts/seg_rows shape mismatch: "
+                f"{self.seg_starts.shape} vs {self.seg_rows.shape}"
+            )
+        if not problems and self.n_segments:
+            seg_starts = self.seg_starts
+            seg_rows = self.seg_rows
+            if int(seg_starts[0]) != 0:
+                problems.append(
+                    f"first segment starts at {int(seg_starts[0])}, "
+                    "expected 0"
+                )
+            if np.any(np.diff(seg_starts) <= 0):
+                problems.append(
+                    "segment pointers not strictly increasing"
+                )
+            if int(seg_starts[-1]) >= max(self.n_slots, 1):
+                problems.append(
+                    f"last segment starts at {int(seg_starts[-1])}, "
+                    f"past the {self.n_slots}-slot stream"
+                )
+            if np.any(np.diff(seg_rows) <= 0):
+                problems.append("segment rows not strictly increasing")
+            if seg_rows.size and (
+                int(seg_rows[0]) < 0
+                or int(seg_rows[-1]) >= self.shape[0]
+            ):
+                problems.append(
+                    f"segment rows outside [0, {self.shape[0]})"
+                )
+        if not problems and self.n_segments == 0 and self.n_slots:
+            problems.append(
+                f"{self.n_slots} slots but no segments to reduce them"
+            )
+        if not problems and self.n_slots:
+            if int(self.cols.min()) < 0 or (
+                int(self.cols.max()) >= self.shape[1]
+            ):
+                problems.append(
+                    f"gather indices outside [0, {self.shape[1]})"
+                )
+            if not np.all(np.isfinite(self.vals)):
+                problems.append("non-finite plan values")
+        if not problems and self.checksum:
+            recomputed = plan_checksum(
+                self.cols, self.vals, self.seg_starts, self.seg_rows,
+                self.shape,
+            )
+            if recomputed != self.checksum:
+                problems.append(
+                    "plan checksum mismatch (arrays corrupted after "
+                    "build)"
+                )
+        return problems
 
     def diagonal(self) -> np.ndarray:
         """The matrix diagonal (for Jacobi-style preconditioning)."""
@@ -329,12 +492,10 @@ class ExecutionPlan:
         if len(shards) == 1:
             self._run_shard(out, x, 0, self.n_segments)
         else:
-            futures = [
+            _join_shards([
                 _pool(len(shards)).submit(self._run_shard, out, x, lo, hi)
                 for lo, hi in shards
-            ]
-            for future in futures:
-                future.result()
+            ])
         if y is not None:
             y = np.asarray(y, dtype=np.float64)
             if y.shape != out.shape:
@@ -347,6 +508,9 @@ class ExecutionPlan:
     def _run_shard(self, out: np.ndarray, x: np.ndarray, lo: int,
                    hi: int) -> None:
         """Gather + segment-reduce segments ``[lo, hi)`` into ``out``."""
+        hook = _SHARD_HOOK
+        if hook is not None:
+            hook(lo, hi)
         if lo >= hi:
             return
         s0 = int(self.seg_starts[lo])
@@ -395,14 +559,12 @@ class ExecutionPlan:
                 self._reduce_block(out, gathered, j0, j1, 0,
                                    self.n_segments)
             else:
-                futures = [
+                _join_shards([
                     _pool(len(shards)).submit(
                         self._reduce_block, out, gathered, j0, j1, lo, hi
                     )
                     for lo, hi in shards
-                ]
-                for future in futures:
-                    future.result()
+                ])
         if y_block is not None:
             y_block = np.asarray(y_block, dtype=np.float64)
             if y_block.shape != out.shape:
@@ -416,6 +578,9 @@ class ExecutionPlan:
     def _reduce_block(self, out: np.ndarray, gathered: np.ndarray,
                       j0: int, j1: int, lo: int, hi: int) -> None:
         """Segment-reduce one gathered vector block for shard [lo, hi)."""
+        hook = _SHARD_HOOK
+        if hook is not None:
+            hook(lo, hi)
         if lo >= hi:
             return
         s0 = int(self.seg_starts[lo])

@@ -11,7 +11,7 @@ check of the format + opcode + datapath stack.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class SpasmAccelerator:
     def run(self, spasm: SpasmMatrix, x: np.ndarray,
             y: Optional[np.ndarray] = None,
             engine: str = "event", verify: bool = False,
-            jobs: int = 1) -> SimResult:
+            jobs: int = 1, guard: Optional[Any] = None) -> SimResult:
         """Simulate ``y = A @ x + y`` for a SPASM-encoded matrix.
 
         ``engine="event"`` walks every group through the opcode-decoded
@@ -81,14 +81,22 @@ class SpasmAccelerator:
         over a thread pool.  ``verify=True`` statically checks the
         stream and its opcode LUT first, raising
         :class:`~repro.verify.diagnostics.VerificationError` listing
-        every violation before any cycle is simulated.
+        every violation before any cycle is simulated.  ``guard`` (an
+        :class:`~repro.resilience.guard.ExecutionGuard` for this
+        matrix) routes the fast engine's numeric execution through the
+        guarded layer; it requires ``engine="fast"``.
         """
         if verify:
             self._verify(spasm)
         if engine == "fast":
             from repro.hw.fast_sim import fast_run
 
-            return fast_run(spasm, self.config, x, y, jobs=jobs)
+            return fast_run(spasm, self.config, x, y, jobs=jobs,
+                            guard=guard)
+        if guard is not None:
+            raise ValueError(
+                "guarded execution requires engine='fast'"
+            )
         if engine != "event":
             raise ValueError(
                 f"unknown engine {engine!r}; choose 'event' or 'fast'"
@@ -169,20 +177,30 @@ class SpasmAccelerator:
 
     def run_spmm(self, spasm: SpasmMatrix, x_block: np.ndarray,
                  y_block: Optional[np.ndarray] = None,
-                 verify: bool = False, jobs: int = 1) -> SimResult:
+                 verify: bool = False, jobs: int = 1,
+                 guard: Optional[Any] = None) -> SimResult:
         """Simulate a multi-vector run ``Y = A @ X + Y`` (extension).
 
         Numeric output comes from the format's exact SpMM semantics
         (through the compiled plan, one gather per vector block);
         cycles from :func:`repro.hw.perf_model.perf_breakdown_spmm`
         (the A stream read once, compute/x/y scaled by the batch).
-        ``verify=True`` behaves as in :meth:`run`.
+        ``verify=True`` behaves as in :meth:`run`; ``guard`` routes
+        the numeric execution through the guarded layer as in
+        :meth:`run`.
         """
         if verify:
             self._verify(spasm)
         from repro.hw.perf_model import perf_breakdown_spmm
 
-        y_out = spasm.spmm(x_block, y_block, jobs=jobs)
+        if guard is not None:
+            if guard.spasm is not spasm:
+                raise ValueError(
+                    "guard was built for a different matrix instance"
+                )
+            y_out = guard.spmm(x_block, y_block, jobs=jobs)
+        else:
+            y_out = spasm.spmm(x_block, y_block, jobs=jobs)
         n_vectors = y_out.shape[1]
         breakdown = perf_breakdown_spmm(
             spasm.global_composition(), self.config, n_vectors,

@@ -16,7 +16,7 @@ asserted in ``tests/test_fast_sim.py``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -26,13 +26,18 @@ from repro.hw.perf_model import assign_tiles, perf_breakdown
 
 
 def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
-             y: Optional[np.ndarray] = None, jobs: int = 1):
+             y: Optional[np.ndarray] = None, jobs: int = 1,
+             guard: Optional[Any] = None):
     """Vectorized equivalent of :meth:`SpasmAccelerator.run`.
 
     The numeric result runs through the matrix's compiled
     :class:`~repro.exec.plan.ExecutionPlan` (built lazily, cached on
     the matrix, ``jobs`` shards on a thread pool); repeated simulations
-    of the same matrix never re-expand the stream.
+    of the same matrix never re-expand the stream.  With ``guard`` (an
+    :class:`~repro.resilience.guard.ExecutionGuard` built for this
+    matrix), execution instead goes through the guarded layer —
+    integrity validation, sampled divergence checks and automatic
+    fallback; the clean path stays bitwise identical.
     """
     from repro.hw.accelerator import SimResult
 
@@ -51,7 +56,14 @@ def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
             )
 
     # Numeric result: compiled execution of the format (exact).
-    y_out = spasm.plan().spmv(x, y_out, jobs=jobs)
+    if guard is not None:
+        if guard.spasm is not spasm:
+            raise ValueError(
+                "guard was built for a different matrix instance"
+            )
+        y_out = guard.spmv(x, y_out, jobs=jobs)
+    else:
+        y_out = spasm.plan().spmv(x, y_out, jobs=jobs)
 
     # Schedule and per-PE accounting, mirroring the event simulator.
     groups_per_tile = spasm.groups_per_tile()

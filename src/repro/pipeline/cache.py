@@ -12,9 +12,12 @@ automatic.  Each cacheable pass derives a key from
   stage.
 
 Entries are single ``.npz`` files named ``<stage>-<key>.npz`` inside the
-cache directory, written atomically (temp file + rename).  A corrupted
-or unreadable entry is treated as a miss and recomputed — the cache can
-never poison a compile.
+cache directory, written atomically (temp file + rename).  Every entry
+carries a SHA-256 checksum of its array payload; a corrupted, truncated
+or checksum-mismatching entry is treated as a miss, **moved into
+``<cache>/quarantine/``** so it can never be consulted again, and
+recomputed — the cache can never poison a compile, and one bad file can
+never poison subsequent runs.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import json
 import os
 import tempfile
 import zipfile
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,11 +36,27 @@ from repro.core.templates import Portfolio, Template
 from repro.matrix.coo import COOMatrix
 
 #: Format marker written into every cache entry; bump to invalidate
-#: every existing cache on an incompatible layout change.
-CACHE_MAGIC = "spasm-cache-v1"
+#: every existing cache on an incompatible layout change.  v2 added the
+#: mandatory payload checksum (entries without one read as misses).
+CACHE_MAGIC = "spasm-cache-v2"
 
 #: Key length kept in file names (hex chars of the SHA-256).
 KEY_CHARS = 40
+
+#: Subdirectory corrupt entries are moved into (never read back).
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over an entry's array payload (names, dtypes, bytes)."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def matrix_digest(coo: COOMatrix) -> str:
@@ -122,23 +141,45 @@ class CacheEntry:
 
 
 class ArtifactCache:
-    """Directory-backed content-addressed artifact cache."""
+    """Directory-backed content-addressed artifact cache.
 
-    def __init__(self, cache_dir: Any):
+    ``on_event`` is an optional callback ``(kind, details)`` invoked on
+    cache incidents (currently ``"quarantine"``); the resilience layer
+    uses it to log :class:`~repro.resilience.guard.ResilienceEvent`
+    records without this module depending on it.
+    """
+
+    def __init__(self, cache_dir: Any,
+                 on_event: Optional[
+                     Callable[[str, Dict[str, Any]], None]
+                 ] = None):
         self.cache_dir = os.fspath(cache_dir)
+        self.on_event = on_event
         os.makedirs(self.cache_dir, exist_ok=True)
 
     def path(self, stage: str, key: str) -> str:
         """Entry file path of a (stage, key) pair."""
         return os.path.join(self.cache_dir, f"{stage}-{key}.npz")
 
+    @property
+    def quarantine_dir(self) -> str:
+        """Directory corrupt entries are moved into."""
+        return os.path.join(self.cache_dir, QUARANTINE_DIR)
+
     def load(self, stage: str, key: str) -> Optional[CacheEntry]:
-        """The cached entry, or ``None`` on miss *or* corruption."""
+        """The cached entry, or ``None`` on miss *or* corruption.
+
+        A structurally broken or checksum-mismatching file is moved to
+        :attr:`quarantine_dir` before reporting the miss, so a bad
+        entry is consulted exactly once and never poisons later runs.
+        """
         path = self.path(stage, key)
         try:
             with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["__meta__"]))
                 if meta.get("magic") != CACHE_MAGIC:
+                    # Older/foreign layout: a plain miss (store() will
+                    # overwrite it with a current-format entry).
                     return None
                 arrays = {
                     name: data[name].copy()
@@ -148,11 +189,61 @@ class ArtifactCache:
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, EOFError,
-                zipfile.BadZipFile):
-            # Corrupted or incompatible entry: recompute, then let the
-            # store() overwrite it with a good one.
+                zipfile.BadZipFile) as exc:
+            # Corrupted or unreadable entry: contain it, recompute,
+            # then let the store() write a good one.
+            self.quarantine(stage, key,
+                            reason=f"{type(exc).__name__}: {exc}")
+            return None
+        recorded = meta.get("checksum")
+        if recorded != payload_checksum(arrays):
+            self.quarantine(stage, key, reason="checksum mismatch")
             return None
         return CacheEntry(arrays=arrays, meta=meta)
+
+    def quarantine(self, stage: str, key: str,
+                   reason: str = "") -> Optional[str]:
+        """Move an entry into ``quarantine/``; its quarantined path.
+
+        Best-effort and race-safe: a concurrently rewritten or already
+        removed entry is left alone (``None`` is returned).  A sidecar
+        ``.reason`` file records why the entry was pulled.
+        """
+        path = self.path(stage, key)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        base = os.path.basename(path)
+        dest = os.path.join(self.quarantine_dir, base)
+        n = 0
+        while os.path.exists(dest):
+            n += 1
+            dest = os.path.join(self.quarantine_dir, f"{base}.{n}")
+        try:
+            os.replace(path, dest)
+        except FileNotFoundError:
+            return None
+        try:
+            with open(dest + ".reason", "w", encoding="utf-8") as fh:
+                fh.write(reason + "\n")
+        except OSError:
+            pass
+        if self.on_event is not None:
+            self.on_event(
+                "quarantine",
+                {"stage": stage, "key": key, "path": dest,
+                 "reason": reason},
+            )
+        return dest
+
+    def quarantined(self) -> Tuple[str, ...]:
+        """File names currently sitting in quarantine."""
+        try:
+            names = os.listdir(self.quarantine_dir)
+        except FileNotFoundError:
+            return ()
+        return tuple(sorted(
+            name for name in names if ".npz" in name
+            and not name.endswith(".reason")
+        ))
 
     def store(self, stage: str, key: str,
               arrays: Dict[str, np.ndarray],
@@ -160,6 +251,7 @@ class ArtifactCache:
         """Persist an entry atomically (temp file + rename)."""
         payload = dict(meta)
         payload["magic"] = CACHE_MAGIC
+        payload["checksum"] = payload_checksum(arrays)
         path = self.path(stage, key)
         fd, tmp_path = tempfile.mkstemp(
             dir=self.cache_dir, suffix=".tmp"

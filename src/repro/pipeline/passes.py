@@ -548,6 +548,7 @@ class PlanPass(CompilerPass):
                 "nrows": plan.shape[0],
                 "ncols": plan.shape[1],
                 "source_nnz": plan.source_nnz,
+                "plan_checksum": plan.checksum,
             },
         )
 
@@ -565,27 +566,27 @@ class PlanPass(CompilerPass):
             meta_digest = str(entry.meta["digest"])
             shape = (int(entry.meta["nrows"]), int(entry.meta["ncols"]))
             source_nnz = int(entry.meta["source_nnz"])
+            checksum = str(entry.meta.get("plan_checksum", ""))
         except (KeyError, TypeError, ValueError):
             return False
         if (
             meta_digest != digest
             or shape != (int(spasm.shape[0]), int(spasm.shape[1]))
-            or cols.shape != vals.shape
-            or seg_starts.shape != seg_rows.shape
         ):
             return False
-        store.put(
-            "plan",
-            ExecutionPlan(
-                shape=shape,
-                cols=cols,
-                vals=vals,
-                seg_starts=seg_starts,
-                seg_rows=seg_rows,
-                digest=digest,
-                source_nnz=source_nnz,
-            ),
+        plan = ExecutionPlan(
+            shape=shape,
+            cols=cols,
+            vals=vals,
+            seg_starts=seg_starts,
+            seg_rows=seg_rows,
+            digest=digest,
+            source_nnz=source_nnz,
+            checksum=checksum,
         )
+        if plan.validate():
+            return False
+        store.put("plan", plan)
         return True
 
 

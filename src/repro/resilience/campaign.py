@@ -1,0 +1,459 @@
+"""Seeded fault-injection campaigns over every fast-path surface.
+
+A campaign builds one pristine workload, then runs N independent
+trials.  Each trial clones the pristine artifacts, injects exactly one
+seeded fault through :class:`~repro.resilience.faults.FaultInjector`,
+executes through :class:`~repro.resilience.guard.ExecutionGuard` (or
+the static verifier, for packed memory images) and classifies the
+outcome:
+
+``detected``
+    The fault was refused loudly — the guard raised
+    :class:`~repro.resilience.guard.IntegrityError` (corrupt pinned
+    stream: no engine could answer truthfully).
+``contained``
+    A correct answer was still delivered: the output is bitwise equal
+    to the pristine plan-engine or naive-engine result (rebuild,
+    retry, quarantine-and-rebuild, fallback — or the fault was
+    benign).
+``escaped``
+    A wrong answer was delivered silently.  **Any escape fails the
+    campaign** — ``python -m repro faults`` exits nonzero and CI goes
+    red.
+
+The whole campaign is reproducible from ``seed`` alone: the injector,
+the input vector and the guard row samplers all derive from it, and
+trials run in a fixed order.
+
+The report also measures guard overhead on the clean path — mean call
+time of :meth:`ExecutionGuard.spmv` vs the bare
+:meth:`~repro.exec.plan.ExecutionPlan.spmv` at the requested workload
+scale — against the ≤ 5 % budget.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.resilience.faults import FaultInjector, FaultRecord, clone_spasm
+from repro.resilience.guard import (
+    ExecutionGuard,
+    GuardConfig,
+    IntegrityError,
+)
+
+#: Guard knobs used under fire: every interval tightened to 1 so each
+#: injected fault is confronted on the very next call.
+CAMPAIGN_GUARD = GuardConfig(
+    validate_plan=True,
+    revalidate_interval=1,
+    check_interval=1,
+    check_rows=4,
+    max_attempts=2,
+)
+
+#: Overhead budget from the acceptance criteria (percent).
+OVERHEAD_BUDGET_PCT = 5.0
+
+#: Campaign presets.  ``smoke`` keeps CI fast; ``full`` is the ≥ 200
+#: injection campaign with overhead measured at the BENCH_exec.json
+#: workload scale.
+CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "workload": "tmt_sym",
+        "scale": 1.0,
+        "overhead_scale": 1.0,
+        "jobs": 2,
+        "overhead_calls": 20,
+        "trials": {
+            "stream": 10, "value": 10, "plan": 12,
+            "cache": 10, "worker": 8, "image": 6,
+        },
+    },
+    "full": {
+        "workload": "tmt_sym",
+        "scale": 1.0,
+        "overhead_scale": 25.0,
+        "jobs": 2,
+        "overhead_calls": 40,
+        "trials": {
+            "stream": 40, "value": 40, "plan": 50,
+            "cache": 40, "worker": 30, "image": 20,
+        },
+    },
+}
+
+
+def _compile(workload: str, scale: float):
+    from repro.core import SpasmCompiler
+    from repro.synth import load_workload
+
+    coo = load_workload(workload, scale=scale)
+    return SpasmCompiler().compile(coo)
+
+
+class _Trial:
+    """Outcome of one injection."""
+
+    def __init__(self, surface: str, record: Optional[FaultRecord],
+                 outcome: str, detail: str = "", flagged: bool = False):
+        self.surface = surface
+        self.record = record
+        self.outcome = outcome  # detected | contained | escaped
+        self.detail = detail
+        self.flagged = flagged  # guard/cache logged at least one event
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "surface": self.surface,
+            "outcome": self.outcome,
+            "flagged": self.flagged,
+            "detail": self.detail,
+            "fault": self.record.to_dict() if self.record else None,
+        }
+
+
+class _Campaign:
+    def __init__(self, preset: Dict[str, Any], seed: int,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.preset = preset
+        self.seed = int(seed)
+        self.injector = FaultInjector(seed)
+        self.progress = progress or (lambda line: None)
+        self.jobs = int(preset.get("jobs", 1))
+        self.trials: List[_Trial] = []
+
+        program = _compile(preset["workload"], preset["scale"])
+        self.pristine = program.spasm
+        self.hw_config = program.hw_config
+        rng = np.random.default_rng(self.seed)
+        self.x = rng.random(self.pristine.shape[1])
+        self.ref_plan = self.pristine.plan().spmv(self.x, jobs=self.jobs)
+        self.ref_naive = self.pristine.spmv_naive(self.x)
+        self._guard_seq = 0
+
+    # -- helpers -------------------------------------------------------
+
+    def _guard(self, spasm: Any, cache: Any = None) -> ExecutionGuard:
+        self._guard_seq += 1
+        return ExecutionGuard(
+            spasm, config=CAMPAIGN_GUARD, cache=cache,
+            seed=self.seed + self._guard_seq,
+        )
+
+    def _correct(self, out: np.ndarray) -> bool:
+        return bool(
+            np.array_equal(out, self.ref_plan)
+            or np.array_equal(out, self.ref_naive)
+        )
+
+    def _classify(self, surface: str, record: Optional[FaultRecord],
+                  run: Callable[[], np.ndarray],
+                  flagged: Callable[[], bool]) -> _Trial:
+        try:
+            out = run()
+        except IntegrityError as exc:
+            return _Trial(surface, record, "detected",
+                          detail=str(exc), flagged=True)
+        if self._correct(out):
+            return _Trial(surface, record, "contained",
+                          flagged=flagged())
+        return _Trial(surface, record, "escaped",
+                      detail="output diverges from pristine engines",
+                      flagged=flagged())
+
+    # -- per-surface trials --------------------------------------------
+
+    def trial_stream(self) -> _Trial:
+        mutant = clone_spasm(self.pristine)
+        guard = self._guard(mutant)
+        record = self.injector.flip_stream_word(mutant)
+        return self._classify(
+            "stream", record,
+            lambda: guard.spmv(self.x, jobs=self.jobs),
+            lambda: len(guard.log) > 0,
+        )
+
+    def trial_value(self) -> _Trial:
+        mutant = clone_spasm(self.pristine)
+        guard = self._guard(mutant)
+        record = self.injector.flip_value(mutant)
+        return self._classify(
+            "value", record,
+            lambda: guard.spmv(self.x, jobs=self.jobs),
+            lambda: len(guard.log) > 0,
+        )
+
+    def trial_plan(self) -> _Trial:
+        mutant = clone_spasm(self.pristine)
+        guard = self._guard(mutant)
+        plan = mutant.plan()  # compiled and cached pre-injection
+        record = self.injector.flip_plan_array(plan)
+        return self._classify(
+            "plan", record,
+            lambda: guard.spmv(self.x, jobs=self.jobs),
+            lambda: len(guard.log) > 0,
+        )
+
+    def trial_cache(self, cache_dir: str) -> _Trial:
+        from repro.pipeline.cache import ArtifactCache
+
+        incidents: List[str] = []
+        cache = ArtifactCache(
+            cache_dir,
+            on_event=lambda kind, details: incidents.append(kind),
+        )
+        seeded = clone_spasm(self.pristine)
+        seeded.plan(cache=cache)  # persist a plan artifact
+        record = self.injector.corrupt_cache_entry(cache)
+        mutant = clone_spasm(self.pristine)
+        guard = self._guard(mutant, cache=cache)
+        return self._classify(
+            "cache", record,
+            lambda: guard.spmv(self.x, jobs=self.jobs),
+            lambda: bool(incidents) or len(guard.log) > 0,
+        )
+
+    def trial_worker(self) -> _Trial:
+        import repro.exec.plan as plan_mod
+
+        mutant = clone_spasm(self.pristine)
+        guard = self._guard(mutant)
+        plan = mutant.plan()
+        saved = plan_mod.MIN_SHARD_SLOTS
+        plan_mod.MIN_SHARD_SLOTS = 1024  # force real sharding
+        try:
+            shards = len(plan.shard_bounds(self.jobs))
+            mode = ("kill", "kill", "delay")[
+                int(self.injector.rng.integers(0, 3))
+            ]
+            nth = int(self.injector.rng.integers(0, shards))
+            with self.injector.worker_fault(
+                mode=mode, nth=nth
+            ) as record:
+                return self._classify(
+                    "worker", record,
+                    lambda: guard.spmv(self.x, jobs=self.jobs),
+                    lambda: len(guard.log) > 0,
+                )
+        finally:
+            plan_mod.MIN_SHARD_SLOTS = saved
+
+    def trial_image(self) -> _Trial:
+        from repro.hw.memory_image import pack_images
+        from repro.verify import verify_memory_image
+
+        image = pack_images(self.pristine, self.hw_config)
+        mutated, record = self.injector.flip_image_bit(image)
+        report = verify_memory_image(mutated, spasm=self.pristine)
+        if not report.ok:
+            return _Trial("image", record, "detected",
+                          detail=report.render(), flagged=True)
+        # The roundtrip rule just proved every PE stream unpacks to
+        # the exact encoded values, so the flip is numerically benign
+        # (e.g. a -0.0 sign bit or inter-stream padding).
+        return _Trial("image", record, "contained",
+                      detail="verifier clean: flip is benign")
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> List[_Trial]:
+        plan_order = [
+            ("stream", self.trial_stream),
+            ("value", self.trial_value),
+            ("plan", self.trial_plan),
+            ("worker", self.trial_worker),
+            ("image", self.trial_image),
+        ]
+        counts = dict(self.preset["trials"])
+        for surface, fn in plan_order:
+            for _ in range(int(counts.get(surface, 0))):
+                self.trials.append(fn())
+            if counts.get(surface):
+                self.progress(
+                    f"{surface}: {counts[surface]} injections done"
+                )
+        n_cache = int(counts.get("cache", 0))
+        for _ in range(n_cache):
+            with tempfile.TemporaryDirectory(
+                prefix="repro-faults-"
+            ) as tmp:
+                self.trials.append(self.trial_cache(tmp))
+        if n_cache:
+            self.progress(f"cache: {n_cache} injections done")
+        return self.trials
+
+
+def measure_overhead(workload: str, scale: float, jobs: int,
+                     calls: int, seed: int) -> Dict[str, Any]:
+    """Mean clean-path call time: bare plan engine vs guarded.
+
+    Uses the default (production) :class:`GuardConfig`, so the number
+    includes the amortized sampled divergence checks.  Both engines
+    warm up first (pool spin-up, oracle construction) and time the
+    same number of calls on the same vector.
+    """
+    program = _compile(workload, scale)
+    spasm = program.spasm
+    rng = np.random.default_rng(seed)
+    x = rng.random(spasm.shape[1])
+    plan = spasm.plan()
+    guard = ExecutionGuard(spasm, seed=seed)
+
+    warmup = max(GuardConfig().check_interval + 2, 4)
+    for _ in range(warmup):
+        plan.spmv(x, jobs=jobs)
+        guard.spmv(x, jobs=jobs)
+
+    def clock(step: Callable[[], np.ndarray]) -> float:
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            step()
+        return (time.perf_counter() - t0) / calls
+
+    plan_s = clock(lambda: plan.spmv(x, jobs=jobs))
+    guard_s = clock(lambda: guard.spmv(x, jobs=jobs))
+    overhead_pct = (guard_s - plan_s) / plan_s * 100.0
+    return {
+        "workload": workload,
+        "scale": scale,
+        "nnz": int(spasm.source_nnz),
+        "jobs": jobs,
+        "calls": calls,
+        "plan_ms": plan_s * 1e3,
+        "guard_ms": guard_s * 1e3,
+        "overhead_pct": overhead_pct,
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "within_budget": overhead_pct <= OVERHEAD_BUDGET_PCT,
+    }
+
+
+def run_campaign(preset: Any = "smoke", seed: int = 0,
+                 overhead: bool = True,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> Dict[str, Any]:
+    """Run a fault-injection campaign and return its JSON-able report.
+
+    Parameters
+    ----------
+    preset:
+        A :data:`CAMPAIGN_PRESETS` key (``smoke`` or ``full``), or an
+        explicit preset dict with the same schema (tests use this to
+        shrink trial counts).
+    seed:
+        Master seed; the whole campaign is a pure function of it.
+    overhead:
+        Also measure clean-path guard overhead (skippable for the
+        fastest CI loop).
+    progress:
+        Optional per-surface progress callback (one line per surface).
+    """
+    if isinstance(preset, dict):
+        spec = preset
+        preset_name = str(spec.get("name", "custom"))
+    else:
+        try:
+            spec = CAMPAIGN_PRESETS[preset]
+        except KeyError:
+            raise KeyError(
+                f"unknown campaign preset {preset!r}; "
+                f"choose from {sorted(CAMPAIGN_PRESETS)}"
+            ) from None
+        preset_name = preset
+    campaign = _Campaign(spec, seed, progress=progress)
+    trials = campaign.run()
+
+    surfaces: Dict[str, Dict[str, int]] = {}
+    for trial in trials:
+        bucket = surfaces.setdefault(
+            trial.surface,
+            {"injections": 0, "detected": 0, "contained": 0,
+             "escaped": 0, "flagged": 0},
+        )
+        bucket["injections"] += 1
+        bucket[trial.outcome] += 1
+        bucket["flagged"] += int(trial.flagged)
+    totals = {
+        "injections": len(trials),
+        "detected": sum(s["detected"] for s in surfaces.values()),
+        "contained": sum(s["contained"] for s in surfaces.values()),
+        "escaped": sum(s["escaped"] for s in surfaces.values()),
+    }
+    escapes = [t.to_dict() for t in trials if t.outcome == "escaped"]
+    report: Dict[str, Any] = {
+        "preset": preset_name,
+        "seed": seed,
+        "workload": {
+            "name": spec["workload"],
+            "scale": spec["scale"],
+            "nnz": int(campaign.pristine.source_nnz),
+            "shape": list(campaign.pristine.shape),
+            "jobs": campaign.jobs,
+        },
+        "guard_config": {
+            field: getattr(CAMPAIGN_GUARD, field)
+            for field in (
+                "validate_plan", "revalidate_interval",
+                "check_interval", "check_rows", "max_attempts",
+            )
+        },
+        "surfaces": surfaces,
+        "totals": totals,
+        "escapes": escapes,
+        "zero_escapes": not escapes,
+    }
+    if overhead:
+        report["overhead"] = measure_overhead(
+            spec["workload"], spec["overhead_scale"], campaign.jobs,
+            int(spec["overhead_calls"]), seed,
+        )
+    return report
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable campaign summary."""
+    lines = [
+        f"fault campaign: preset={report['preset']} "
+        f"seed={report['seed']} "
+        f"workload={report['workload']['name']} "
+        f"(nnz={report['workload']['nnz']})",
+    ]
+    for surface in sorted(report["surfaces"]):
+        s = report["surfaces"][surface]
+        lines.append(
+            f"  {surface:7s} injections={s['injections']:4d} "
+            f"detected={s['detected']:4d} "
+            f"contained={s['contained']:4d} "
+            f"escaped={s['escaped']:4d}"
+        )
+    t = report["totals"]
+    lines.append(
+        f"  totals  injections={t['injections']:4d} "
+        f"detected={t['detected']:4d} "
+        f"contained={t['contained']:4d} escaped={t['escaped']:4d}"
+    )
+    if "overhead" in report:
+        o = report["overhead"]
+        lines.append(
+            f"  overhead: plan {o['plan_ms']:.3f} ms vs guard "
+            f"{o['guard_ms']:.3f} ms -> {o['overhead_pct']:+.2f}% "
+            f"(budget {o['budget_pct']:.1f}%, "
+            f"{'within' if o['within_budget'] else 'OVER'})"
+        )
+    lines.append(
+        "  verdict: "
+        + ("ZERO ESCAPES" if report["zero_escapes"]
+           else f"{t['escaped']} ESCAPED FAULTS")
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -29,6 +29,7 @@ from repro.verify.diagnostics import (
 from repro.verify.rules import (
     KIND_MEMORY,
     KIND_OPCODE,
+    KIND_PLAN,
     KIND_SPASM,
     REGISTRY,
     Rule,
@@ -41,6 +42,7 @@ from repro.verify.runner import (
     verify_file,
     verify_memory_image,
     verify_opcode_table,
+    verify_plan,
     verify_spasm,
 )
 
@@ -55,6 +57,7 @@ __all__ = [
     "KIND_SPASM",
     "KIND_OPCODE",
     "KIND_MEMORY",
+    "KIND_PLAN",
     "REGISTRY",
     "Rule",
     "VerifyContext",
@@ -64,5 +67,6 @@ __all__ = [
     "verify_file",
     "verify_memory_image",
     "verify_opcode_table",
+    "verify_plan",
     "verify_spasm",
 ]

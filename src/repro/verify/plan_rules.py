@@ -1,0 +1,92 @@
+"""Execution-plan rules (the compiled step-⑥ fast-path artifact).
+
+A compiled :class:`~repro.exec.plan.ExecutionPlan` is dispatched with
+no per-slot checks at all — the gather and ``reduceat`` kernels trust
+the plan arrays completely.  These rules make that trust checkable:
+the structural invariants every dispatch relies on (``plan.integrity``,
+delegating to :meth:`ExecutionPlan.validate` so the guard and the
+verifier agree by construction, checksum included) and, when the
+source stream is in the context, that the plan actually belongs to it
+(``plan.digest``).  The resilience layer
+(:mod:`repro.resilience.guard`) runs the same checks before dispatch;
+see ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.verify.diagnostics import Diagnostic
+from repro.verify.rules import (
+    KIND_PLAN,
+    Rule,
+    VerifyContext,
+    register,
+)
+
+
+@register
+class PlanIntegrity(Rule):
+    rule_id = "plan.integrity"
+    kinds = (KIND_PLAN,)
+    title = ("plan arrays satisfy every dispatch invariant and match "
+             "their build-time checksum")
+    paper = "software step ⑥ (compiled execution)"
+    requires = ("plan",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        for problem in ctx.plan.validate():
+            yield self.diag(problem)
+
+
+@register
+class PlanDigest(Rule):
+    rule_id = "plan.digest"
+    kinds = (KIND_PLAN,)
+    title = ("the plan was compiled from exactly this stream (stream "
+             "digest equality)")
+    paper = "software step ⑥ (compiled execution)"
+    requires = ("plan", "spasm")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        from repro.exec.plan import stream_digest
+
+        expected = stream_digest(ctx.spasm)
+        if ctx.plan.digest != expected:
+            yield self.diag(
+                "plan digest does not match the stream it is about to "
+                "execute (stale plan or corrupted stream)",
+                plan_digest=ctx.plan.digest,
+                stream_digest=expected,
+            )
+
+
+@register
+class PlanSlotBudget(Rule):
+    rule_id = "plan.slots"
+    kinds = (KIND_PLAN,)
+    title = ("the plan streams no more slots than the stream stores "
+             "and no fewer than the source nnz")
+    paper = "software step ⑥ (padding elision)"
+    requires = ("plan", "spasm")
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        plan = ctx.plan
+        spasm = ctx.spasm
+        stored = int(spasm.values.size)
+        if plan.n_slots > stored:
+            yield self.diag(
+                f"plan streams {plan.n_slots} slots but the stream "
+                f"stores only {stored}",
+                plan_slots=plan.n_slots,
+                stored_slots=stored,
+            )
+        nonzero = int((spasm.values != 0.0).sum())
+        if plan.n_slots != nonzero:
+            yield self.diag(
+                f"plan streams {plan.n_slots} slots, stream carries "
+                f"{nonzero} non-padding values (padding elision must "
+                "be exact)",
+                plan_slots=plan.n_slots,
+                nonzero_slots=nonzero,
+            )

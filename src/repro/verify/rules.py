@@ -33,6 +33,7 @@ from repro.verify.diagnostics import (
 KIND_SPASM = "spasm"
 KIND_OPCODE = "opcode"
 KIND_MEMORY = "memory"
+KIND_PLAN = "plan"
 
 #: Cap on per-rule occurrence diagnostics (each carries the full count).
 MAX_OCCURRENCES = 8
@@ -53,6 +54,7 @@ class VerifyContext:
     image: Optional[Any] = None  # repro.hw.memory_image.MemoryImage
     opcodes: Optional[Sequence[int]] = None
     portfolio: Optional[Any] = None  # repro.core.templates.Portfolio
+    plan: Optional[Any] = None  # repro.exec.plan.ExecutionPlan
 
     _fields: Optional[Dict[str, np.ndarray]] = dataclasses.field(
         default=None, repr=False

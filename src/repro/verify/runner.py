@@ -21,6 +21,7 @@ from repro.verify.diagnostics import Diagnostic, Report
 from repro.verify.rules import (
     KIND_MEMORY,
     KIND_OPCODE,
+    KIND_PLAN,
     KIND_SPASM,
     VerifyContext,
     rules_for,
@@ -30,6 +31,7 @@ from repro.verify.rules import (
 from repro.verify import format_rules  # noqa: F401
 from repro.verify import memory_rules  # noqa: F401
 from repro.verify import opcode_rules  # noqa: F401
+from repro.verify import plan_rules  # noqa: F401
 from repro.verify import position_rules  # noqa: F401
 
 
@@ -114,6 +116,21 @@ def verify_memory_image(image: Any,
         portfolio=spasm.portfolio if spasm is not None else None,
     )
     return run_rules(ctx, [KIND_MEMORY])
+
+
+def verify_plan(plan: Any, spasm: Optional[Any] = None) -> Report:
+    """Statically verify a compiled execution plan.
+
+    Checks every dispatch invariant of the plan arrays plus the
+    build-time checksum (``plan.integrity``).  With ``spasm`` supplied,
+    additionally proves the plan belongs to that stream
+    (``plan.digest``) and that padding elision was exact
+    (``plan.slots``).  The resilience guard
+    (:class:`repro.resilience.guard.ExecutionGuard`) runs the same
+    validation before every dispatch of a fresh plan.
+    """
+    ctx = VerifyContext(plan=plan, spasm=spasm)
+    return run_rules(ctx, [KIND_PLAN])
 
 
 def verify_file(path: str,

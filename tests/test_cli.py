@@ -176,9 +176,118 @@ class TestErrors:
         assert main(["analyze", "/does/not/exist.mtx"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_run_missing_mtx(self, capsys):
+        assert main(["run", "/does/not/exist.mtx"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # exactly one line
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "no_such_workload"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_missing_artifact(self, capsys):
+        assert main(["verify", "/does/not/exist.npz"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_verify_truncated_npz(self, capsys, tmp_path):
+        from repro.core import SpasmCompiler, save_spasm
+        from repro.synth import load_workload
+
+        spasm = SpasmCompiler().compile(
+            load_workload("stormG2_1000", scale=0.5)
+        ).spasm
+        path = tmp_path / "t.npz"
+        save_spasm(path, spasm)
+        path.write_bytes(path.read_bytes()[:64])
+        assert main(["verify", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_verify_non_npz_garbage(self, capsys, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive")
+        assert main(["verify", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_no_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaults:
+    TINY = {
+        "name": "tiny",
+        "workload": "stormG2_1000",
+        "scale": 0.5,
+        "overhead_scale": 0.5,
+        "jobs": 2,
+        "overhead_calls": 3,
+        "trials": {
+            "stream": 1, "value": 1, "plan": 1,
+            "cache": 1, "worker": 1, "image": 1,
+        },
+    }
+
+    def test_faults_smoke_json_and_report_file(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.resilience import campaign
+
+        monkeypatch.setitem(
+            campaign.CAMPAIGN_PRESETS, "smoke", self.TINY
+        )
+        out_file = tmp_path / "faults.json"
+        assert main([
+            "faults", "--no-overhead", "--quiet", "--json",
+            "--out", str(out_file),
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["zero_escapes"] is True
+        assert report["totals"]["injections"] == 6
+        archived = json.loads(out_file.read_text())
+        assert archived["totals"] == report["totals"]
+
+    def test_faults_escape_exits_nonzero(
+        self, capsys, monkeypatch
+    ):
+        from repro.resilience import campaign
+
+        monkeypatch.setitem(
+            campaign.CAMPAIGN_PRESETS, "smoke", self.TINY
+        )
+
+        def rigged(preset="smoke", seed=0, overhead=True,
+                   progress=None):
+            return {
+                "preset": "smoke", "seed": seed,
+                "workload": {"name": "x", "nnz": 1},
+                "surfaces": {}, "escapes": [{"surface": "plan"}],
+                "zero_escapes": False,
+                "totals": {"injections": 1, "detected": 0,
+                           "contained": 0, "escaped": 1},
+            }
+
+        import repro.resilience
+
+        monkeypatch.setattr(
+            repro.resilience, "run_campaign", rigged
+        )
+        assert main(["faults", "--no-overhead", "--quiet"]) == 1
+        assert "escaped" in capsys.readouterr().err
+
+    def test_faults_text_render(self, capsys, monkeypatch):
+        from repro.resilience import campaign
+
+        monkeypatch.setitem(
+            campaign.CAMPAIGN_PRESETS, "smoke", self.TINY
+        )
+        assert main(["faults", "--no-overhead", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "ZERO ESCAPES" in out
+        assert "stream" in out and "cache" in out
 
 
 class TestLoadMatrix:

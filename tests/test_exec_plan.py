@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import candidate_portfolios, encode_spasm
 from repro.exec import ExecutionPlan, PLAN_STAGE, stream_digest
@@ -201,6 +203,129 @@ class TestPlanCache:
         stages = {e.name: e.cache for e in again.trace.events}
         assert stages["plan"] == "hit"
         assert np.array_equal(again.plan.vals, program.plan.vals)
+
+
+class TestFaultTolerance:
+    """Worker faults and single-bit corruption of the plan arrays."""
+
+    @pytest.fixture
+    def sharded_plan(self, rng):
+        n = 512
+        dense = np.where(
+            rng.random((n, n)) < 0.2, rng.random((n, n)), 0.0
+        )
+        plan = encode(COOMatrix.from_dense(dense)).plan()
+        assert len(plan.shard_bounds(4)) > 1
+        return plan
+
+    def test_worker_exception_reraised_pool_survives(
+        self, rng, sharded_plan
+    ):
+        import threading
+
+        from repro.exec import set_shard_fault_hook
+
+        plan = sharded_plan
+        x = rng.random(plan.shape[1])
+        serial = plan.spmv(x, jobs=1)
+
+        class Boom(RuntimeError):
+            pass
+
+        state = {"calls": 0}
+
+        def kill_first(lo, hi):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise Boom("shard died")
+
+        previous = set_shard_fault_hook(kill_first)
+        try:
+            with pytest.raises(Boom):
+                plan.spmv(x, jobs=4)
+        finally:
+            set_shard_fault_hook(previous)
+        # The shared pool is not poisoned: the very next sharded call
+        # completes bitwise identically, on the same bounded thread
+        # count (no orphaned workers accumulate per failure).
+        threads_after_failure = threading.active_count()
+        assert np.array_equal(plan.spmv(x, jobs=4), serial)
+        for _ in range(3):
+            plan.spmv(x, jobs=4)
+        assert threading.active_count() <= threads_after_failure
+
+    def test_keyboard_interrupt_reraised_pool_survives(
+        self, rng, sharded_plan
+    ):
+        from repro.exec import set_shard_fault_hook
+
+        plan = sharded_plan
+        x = rng.random(plan.shape[1])
+        serial = plan.spmv(x, jobs=1)
+        state = {"calls": 0}
+
+        def interrupt_first(lo, hi):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise KeyboardInterrupt()
+
+        previous = set_shard_fault_hook(interrupt_first)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                plan.spmv(x, jobs=4)
+        finally:
+            set_shard_fault_hook(previous)
+        assert np.array_equal(plan.spmv(x, jobs=4), serial)
+
+    def test_validate_clean_plan(self, rng):
+        coo = integer_coo(rng, 96, "mixed")
+        assert encode(coo).plan().validate() == []
+
+
+# -- hypothesis: any single-bit flip in any plan array is caught --------
+
+_FLIP_SPASM = encode(
+    random_structured_coo(np.random.default_rng(99), 64, "mixed"),
+    tile_size=16,
+)
+_FLIP_PLAN = _FLIP_SPASM.plan()
+_FLIP_ARRAYS = ("cols", "vals", "seg_starts", "seg_rows")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    which=st.integers(0, len(_FLIP_ARRAYS) - 1),
+    pos=st.integers(0, 2**30),
+    bit=st.integers(0, 63),
+)
+def test_any_plan_bit_flip_is_caught(which, pos, bit):
+    """Every single-bit corruption of every executable plan array is
+    flagged — by validate() (checksum + invariants) and by the
+    plan.integrity verifier rule the guard and CLI share."""
+    import dataclasses
+
+    from repro.verify import verify_plan
+
+    name = _FLIP_ARRAYS[which]
+    mutated = dataclasses.replace(
+        _FLIP_PLAN,
+        cols=_FLIP_PLAN.cols.copy(),
+        vals=_FLIP_PLAN.vals.copy(),
+        seg_starts=_FLIP_PLAN.seg_starts.copy(),
+        seg_rows=_FLIP_PLAN.seg_rows.copy(),
+    )
+    arr = getattr(mutated, name).reshape(-1).view(np.uint64)
+    idx = pos % arr.size
+    arr[idx] ^= np.uint64(1) << np.uint64(bit)
+    problems = mutated.validate()
+    assert problems, (
+        f"flip of bit {bit} in {name}[{idx}] went undetected"
+    )
+    report = verify_plan(mutated, spasm=_FLIP_SPASM)
+    assert not report.ok
+    assert any(
+        d.rule_id.startswith("plan.") for d in report.errors
+    )
 
 
 class TestIntegration:

@@ -1,5 +1,7 @@
 """Tests for content-addressed caching of pipeline artifacts."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -196,6 +198,138 @@ class TestCorruption:
         assert entry is not None
         assert np.array_equal(entry.arrays["a"], arrays["a"])
         assert entry.meta["note"] == "hello"
+
+
+class TestQuarantine:
+    """Corrupt entries are quarantined, never served and never fatal."""
+
+    def seed_entry(self, tmp_path, on_event=None):
+        cache = ArtifactCache(tmp_path, on_event=on_event)
+        cache.store("analysis", "a" * 40,
+                    {"v": np.arange(64, dtype=np.int64)},
+                    {"note": "seed"})
+        return cache
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        events = []
+        cache = self.seed_entry(
+            tmp_path, on_event=lambda kind, d: events.append((kind, d))
+        )
+        path = cache.path("analysis", "a" * 40)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert cache.load("analysis", "a" * 40) is None  # miss, no raise
+        assert len(cache.quarantined()) == 1
+        assert events and events[0][0] == "quarantine"
+        # the sidecar records why
+        name = cache.quarantined()[0]
+        reason = open(
+            cache.quarantine_dir + "/" + name + ".reason"
+        ).read()
+        assert reason.strip()
+        # a rebuild stores a good entry; later loads hit again
+        cache.store("analysis", "a" * 40,
+                    {"v": np.arange(64, dtype=np.int64)}, {})
+        assert cache.load("analysis", "a" * 40) is not None
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        import json as jsonlib
+
+        cache = self.seed_entry(tmp_path)
+        path = cache.path("analysis", "a" * 40)
+        # Rewrite the payload array while keeping the recorded
+        # checksum: a valid zip whose content silently changed.
+        with np.load(path, allow_pickle=False) as data:
+            meta = jsonlib.loads(str(data["__meta__"]))
+        np.savez(
+            path,
+            __meta__=np.array(jsonlib.dumps(meta)),
+            v=np.arange(64, dtype=np.int64) + 1,
+        )
+        assert cache.load("analysis", "a" * 40) is None
+        assert len(cache.quarantined()) == 1
+        reason_files = [
+            n for n in os.listdir(cache.quarantine_dir)
+            if n.endswith(".reason")
+        ]
+        assert reason_files
+        text = open(
+            cache.quarantine_dir + "/" + reason_files[0]
+        ).read()
+        assert "checksum" in text
+
+    def test_wrong_magic_is_plain_miss(self, tmp_path):
+        import json as jsonlib
+
+        cache = self.seed_entry(tmp_path)
+        path = cache.path("analysis", "a" * 40)
+        np.savez(
+            path,
+            __meta__=np.array(jsonlib.dumps({"magic": "older-v0"})),
+            v=np.arange(4, dtype=np.int64),
+        )
+        assert cache.load("analysis", "a" * 40) is None
+        assert cache.quarantined() == ()  # foreign layout: not corrupt
+
+    def test_quarantine_names_collide_safely(self, tmp_path):
+        cache = self.seed_entry(tmp_path)
+        path = cache.path("analysis", "a" * 40)
+        for _ in range(3):
+            with open(path, "wb") as fh:
+                fh.write(b"junk")
+            assert cache.load("analysis", "a" * 40) is None
+        assert len(cache.quarantined()) == 3
+
+    def test_quarantine_missing_entry_is_noop(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.quarantine("analysis", "b" * 40) is None
+
+    def test_concurrent_writers_never_corrupt(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ArtifactCache(tmp_path)
+        payloads = [
+            np.full(256, fill, dtype=np.int64) for fill in range(8)
+        ]
+
+        def write(i):
+            cache.store("analysis", "c" * 40,
+                        {"v": payloads[i % 8]}, {"writer": i})
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, range(64)))
+            for _ in range(32):
+                entry = cache.load("analysis", "c" * 40)
+                # Atomic replace: every observed state is one of the
+                # complete payloads, never a torn mix.
+                assert entry is not None
+                assert any(
+                    np.array_equal(entry.arrays["v"], p)
+                    for p in payloads
+                )
+        assert cache.quarantined() == ()
+
+    def test_corrupt_plan_payload_rejected_and_quarantined(
+        self, tmp_path, coo
+    ):
+        """A persisted plan whose arrays break the dispatch invariants
+        is quarantined on load and transparently rebuilt."""
+        from repro.core import candidate_portfolios, encode_spasm
+        from repro.exec import ExecutionPlan, PLAN_STAGE
+
+        spasm = encode_spasm(coo, candidate_portfolios()[0], 32)
+        cache = ArtifactCache(tmp_path)
+        built = ExecutionPlan.build(spasm, cache=cache)
+        key = built.digest[:40]
+        entry = cache.load(PLAN_STAGE, key)
+        arrays = dict(entry.arrays)
+        arrays["seg_starts"] = arrays["seg_starts"][::-1].copy()
+        cache.store(PLAN_STAGE, key, arrays, entry.meta)
+        reloaded = ExecutionPlan.build(spasm, cache=cache)
+        assert reloaded.validate() == []
+        assert np.array_equal(reloaded.vals, built.vals)
+        assert len(cache.quarantined()) == 1
 
 
 class TestKeys:
