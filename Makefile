@@ -23,9 +23,13 @@ bench:
 # One synthetic workload through the full pipeline with the per-stage
 # trace written out — the CI smoke proof that compile + trace + JSON
 # reporting stay healthy (uploads BENCH_pipeline.json as an artifact) —
-# plus the execution-plan bench on tiny matrices: numeric divergence
-# between the plan and naive engines fails the build (BENCH_exec.json
-# is archived too; the 5x speedup gate only arms at full bench scale).
+# plus the execution-plan bench on tiny matrices.  The bench records
+# build_ms (fused vs compile), per-dtype spmv_ms, sharded_ms and
+# batch_qps into BENCH_exec.json; any bitwise divergence between the
+# float64 engines (naive / int32 / int64 / sharded / guarded / batch)
+# fails the build at every scale.  The timing gates (5x over naive,
+# 1.3x int32 over int64, 2x time-to-first-SpMV, auto-sharding never
+# losing) only arm at full bench scale (>=1e6 nnz).
 bench-smoke:
 	python -m repro compile tmt_sym --scale 0.1 --json \
 	    --trace BENCH_pipeline.json > /dev/null
@@ -36,10 +40,12 @@ bench-smoke:
 	    --benchmark-disable -q
 
 # Seeded fault-injection campaign (smoke preset, ~56 injections across
-# stream/value/plan/cache/worker/image surfaces).  A single escaped
-# fault — a silently wrong SpMV output — exits nonzero and fails the
-# build; BENCH_faults.json is archived as a CI artifact.  Overhead is
-# measured at full scale by the checked-in full campaign
+# stream/value/plan/cache/worker/image surfaces; plan flips are
+# byte-addressed, so compact int32 arrays are in the bit-flip
+# surface).  A single escaped fault — a silently wrong SpMV output —
+# exits nonzero and fails the build; BENCH_faults.json is archived as
+# a CI artifact.  Overhead is measured at full scale by the
+# checked-in full campaign
 # (benchmarks/results/faults_campaign.json), not here.
 faults-smoke:
 	python -m repro faults --campaign smoke --no-overhead --quiet \

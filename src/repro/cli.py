@@ -73,10 +73,14 @@ def cmd_analyze(args) -> int:
 
 
 def make_compiler(args) -> SpasmCompiler:
-    """A compiler configured from the shared pipeline CLI flags."""
+    """A compiler configured from the shared pipeline CLI flags.
+
+    ``--jobs 0`` (execution auto-sharding) maps to a serial schedule
+    sweep — the sweep has no auto heuristic of its own.
+    """
     return SpasmCompiler(
         cache_dir=getattr(args, "cache_dir", None),
-        jobs=getattr(args, "jobs", 1),
+        jobs=max(1, getattr(args, "jobs", 1)),
         verify=getattr(args, "verify", False),
     )
 
@@ -230,9 +234,13 @@ def cmd_run(args) -> int:
     ``--engine naive`` re-expands the stream every call (the reference
     execution); ``--engine plan`` compiles the
     :class:`~repro.exec.plan.ExecutionPlan` once and runs the cached
-    gather + segment-reduce kernel, optionally sharded over ``--jobs``
-    threads.  Both engines are checked against each other before
-    timing; a numeric divergence exits 1.
+    compact-layout kernel, sharded over ``--jobs`` threads (``0`` =
+    the plan's own nnz heuristic).  ``--batch N`` times N queries per
+    call through the blocked SpMM engine and reports queries/s.
+    Float64 engines are checked **bitwise** against the naive
+    reference before timing; ``--precision float32`` opts into the
+    compact value layout and is checked to tolerance instead.  Any
+    divergence exits 1.
     """
     import time
 
@@ -245,24 +253,73 @@ def cmd_run(args) -> int:
     write_trace(args, program)
     rng = np.random.default_rng(args.seed)
     x = rng.random(spasm.shape[1])
+    # --jobs 0 selects the plan's automatic shard heuristic.
+    jobs = args.jobs if args.jobs > 0 else None
+
+    if args.precision == "float32" and args.engine != "plan":
+        print("error: --precision float32 requires --engine plan "
+              "(the guarded and naive engines are float64-exact)",
+              file=sys.stderr)
+        return 1
 
     reference = spasm.spmv_naive(x)
-    plan = spasm.plan()
-    if not np.allclose(plan.spmv(x, jobs=args.jobs), reference):
-        print("error: plan and naive engines diverge", file=sys.stderr)
+    if args.precision == "float32":
+        from repro.exec.plan import ExecutionPlan
+
+        plan = ExecutionPlan.build(spasm, precision="float32")
+    else:
+        plan = spasm.plan()
+    got = plan.spmv(x, jobs=jobs)
+    if args.precision == "float32":
+        agree = bool(np.allclose(got, reference,
+                                 rtol=1e-5, atol=1e-8))
+        check_note = "within float32 tolerance of naive"
+    else:
+        agree = bool(np.array_equal(got, reference))
+        check_note = "bitwise equal to naive"
+    if not agree:
+        print("error: plan and naive engines diverge",
+              file=sys.stderr)
         return 1
 
     guard = None
-    if args.engine == "plan":
-        def step():
-            return plan.spmv(x, jobs=args.jobs)
-    elif args.engine == "guarded":
+    if args.engine == "guarded":
         from repro.resilience import ExecutionGuard
 
         guard = ExecutionGuard(spasm, seed=args.seed)
 
+    if args.batch > 0:
+        xs = np.ascontiguousarray(
+            rng.random((args.batch, spasm.shape[1]))
+        )
+        batch_ref = np.stack([spasm.spmv_naive(row) for row in xs])
+        if args.engine == "plan":
+            def step():
+                return plan.spmv_batch(xs, jobs=jobs)
+        elif args.engine == "guarded":
+            def step():
+                return guard.spmv_batch(xs, jobs=jobs)
+        else:
+            def step():
+                return np.stack(
+                    [spasm.spmv_naive(row) for row in xs]
+                )
+        got_batch = step()
+        if args.precision == "float32":
+            batch_ok = bool(np.allclose(got_batch, batch_ref,
+                                        rtol=1e-5, atol=1e-8))
+        else:
+            batch_ok = bool(np.array_equal(got_batch, batch_ref))
+        if not batch_ok:
+            print("error: batched and per-query engines diverge",
+                  file=sys.stderr)
+            return 1
+    elif args.engine == "plan":
         def step():
-            return guard.spmv(x, jobs=args.jobs)
+            return plan.spmv(x, jobs=jobs)
+    elif args.engine == "guarded":
+        def step():
+            return guard.spmv(x, jobs=jobs)
     else:
         def step():
             return spasm.spmv_naive(x)
@@ -274,14 +331,23 @@ def cmd_run(args) -> int:
         times.append(time.perf_counter() - t0)
     best = min(times)
     flops = 2 * spasm.source_nnz + spasm.shape[0]
+    jobs_note = "auto" if jobs is None else str(jobs)
     print(f"matrix:   {args.matrix} shape={spasm.shape} "
           f"nnz={spasm.source_nnz}")
-    print(f"engine:   {args.engine} (jobs={args.jobs})")
+    print(f"engine:   {args.engine} (jobs={jobs_note})")
     if args.engine in ("plan", "guarded"):
-        print(f"plan:     {plan.describe()}")
-    print(f"timing:   best {best * 1e3:.3f} ms of {args.repeat} runs "
-          f"({flops / best / 1e9:.2f} GFLOP/s)")
-    print("check:    plan vs naive engines agree")
+        print(f"plan:     {plan.describe()} "
+              f"(built in {plan.build_ms:.1f} ms)")
+    if args.batch > 0:
+        qps = args.batch / best
+        print(f"timing:   best {best * 1e3:.3f} ms of {args.repeat} "
+              f"runs for {args.batch} queries "
+              f"({qps:.1f} queries/s, "
+              f"{args.batch * flops / best / 1e9:.2f} GFLOP/s)")
+    else:
+        print(f"timing:   best {best * 1e3:.3f} ms of {args.repeat} "
+              f"runs ({flops / best / 1e9:.2f} GFLOP/s)")
+    print(f"check:    plan vs naive engines agree ({check_note})")
     if guard is not None:
         incidents = len(guard.log)
         print(f"guard:    {incidents} incident(s) logged")
@@ -469,7 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "served from disk)")
         p.add_argument("--jobs", type=int, default=1,
                        help="threads for the schedule sweep "
-                            "(deterministic; default 1)")
+                            "(deterministic; default 1); for 'run' "
+                            "also the execution shard count, where 0 "
+                            "selects the plan's nnz auto-heuristic")
         return p
 
     analyze = add_matrix_command("analyze", "local pattern analysis")
@@ -521,6 +589,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "guard (integrity checks + fallback)")
     run.add_argument("--repeat", type=int, default=5,
                      help="timed iterations (the best is reported)")
+    run.add_argument("--batch", type=int, default=0,
+                     help="queries per call: 0 runs single-vector "
+                          "SpMV (default); N>0 times N queries per "
+                          "call through the blocked SpMM engine and "
+                          "reports queries/s")
+    run.add_argument("--precision", default="float64",
+                     choices=["float64", "float32"],
+                     help="plan value precision: float64 is bitwise-"
+                          "checked against the naive engine "
+                          "(default); float32 opts into the compact "
+                          "layout, checked to tolerance")
     run.add_argument("--seed", type=int, default=0,
                      help="seed for the random x vector")
     run.add_argument("--trace", default=None, metavar="FILE",

@@ -27,6 +27,7 @@ from repro.core.templates import (
 from repro.core.decompose import (
     DecompositionError,
     DecompositionTable,
+    cached_table,
     find_best_decomp,
     greedy_decompose,
 )
@@ -87,6 +88,7 @@ __all__ = [
     "template_universe",
     "DecompositionError",
     "DecompositionTable",
+    "cached_table",
     "find_best_decomp",
     "greedy_decompose",
     "PositionEncoding",

@@ -26,6 +26,8 @@ Two solvers are provided:
 from __future__ import annotations
 
 import dataclasses
+import threading
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -316,3 +318,40 @@ class DecompositionTable:
             (f for __, f in pairs), dtype=np.int64, count=len(pairs)
         )
         return int((self.padding_array(patterns) * freqs).sum())
+
+
+# ----------------------------------------------------------------------
+# process-wide table cache
+# ----------------------------------------------------------------------
+
+_TABLE_CACHE: Dict[Tuple[int, Tuple[int, ...]], DecompositionTable] = {}
+_TABLE_CACHE_LOCK = threading.Lock()
+
+
+def _table_key(portfolio, k=None) -> Tuple[int, Tuple[int, ...]]:
+    """The (k, masks) digest a portfolio's table is keyed by."""
+    if isinstance(portfolio, Portfolio):
+        return (int(portfolio.k),
+                tuple(int(m) for m in portfolio.masks))
+    masks = tuple(int(getattr(t, "mask", t)) for t in portfolio)
+    return (int(k) if k is not None else DEFAULT_K, masks)
+
+
+def cached_table(portfolio, k: int = None) -> DecompositionTable:
+    """A shared :class:`DecompositionTable` for this portfolio.
+
+    Building a table costs O(k*k * 2^(k*k)) vectorized work — enough to
+    dominate small-matrix compiles when rebuilt per call.  Tables are
+    immutable after construction, so one instance per distinct
+    ``(k, template masks)`` pair serves the whole process; repeated
+    compiles, selection sweeps and ``encode_spasm(table=None)`` calls
+    all hit the same entry.
+    """
+    key = _table_key(portfolio, k)
+    with _TABLE_CACHE_LOCK:
+        table = _TABLE_CACHE.get(key)
+    if table is None:
+        built = DecompositionTable(portfolio, k=k)
+        with _TABLE_CACHE_LOCK:
+            table = _TABLE_CACHE.setdefault(key, built)
+    return table

@@ -29,7 +29,7 @@ import dataclasses
 import numpy as np
 
 from repro.core.bitmask import DEFAULT_K, full_mask, popcount_array
-from repro.core.decompose import DecompositionTable
+from repro.core.decompose import cached_table
 from repro.core.patterns import PatternHistogram
 from repro.core.templates import (
     MAX_TEMPLATES,
@@ -144,7 +144,7 @@ class GreedyPortfolioBuilder:
             templates, k=k, name=name,
             description="greedy build from the template universe",
         )
-        total = DecompositionTable(portfolio).total_padding(histogram)
+        total = cached_table(portfolio).total_padding(histogram)
         return GreedyBuildResult(
             portfolio=portfolio,
             total_padding=total,

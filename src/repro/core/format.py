@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.core.bitmask import DEFAULT_K
-from repro.core.decompose import DecompositionTable
+from repro.core.decompose import DecompositionTable, cached_table
 from repro.core.encoding import (
     pack_position_array,
     unpack_position_array,
@@ -279,21 +279,23 @@ class SpasmMatrix:
         return built
 
     def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
-             jobs: int = 1) -> np.ndarray:
+             jobs: Optional[int] = None) -> np.ndarray:
         """Execution of the format: ``y = A @ x + y``.
 
         Delegates to the lazily cached :meth:`plan` — a gather plus a
         sorted segment reduction; repeated calls on the same matrix
-        never re-expand the stream.  ``jobs`` runs the plan's row-block
-        shards on a thread pool (bitwise identical for any value).  The
-        un-compiled reference path survives as :meth:`spmv_naive`; the
-        hardware functional simulator in :mod:`repro.hw` must agree
-        with both (padding slots multiply by zero and vanish).
+        never re-expand the stream.  ``jobs=None`` lets the plan's
+        slots-per-worker heuristic choose; any forced value is bitwise
+        identical.  The un-compiled reference path survives as
+        :meth:`spmv_naive`; the hardware functional simulator in
+        :mod:`repro.hw` must agree with both (padding slots multiply by
+        zero and vanish).
         """
         return self.plan().spmv(x, y=y, jobs=jobs)
 
     def spmm(self, x_block: np.ndarray,
-             y_block: Optional[np.ndarray] = None, jobs: int = 1,
+             y_block: Optional[np.ndarray] = None,
+             jobs: Optional[int] = None,
              ) -> np.ndarray:
         """Multi-vector execution ``Y = A @ X + Y`` via the plan.
 
@@ -303,6 +305,15 @@ class SpasmMatrix:
         un-compiled reference survives as :meth:`spmm_naive`.
         """
         return self.plan().spmm(x_block, y_block=y_block, jobs=jobs)
+
+    def spmv_batch(self, xs: np.ndarray,
+                   jobs: Optional[int] = None) -> np.ndarray:
+        """Batched SpMV over query rows via the plan's SpMM kernel.
+
+        ``xs`` is ``(n_queries, ncols)``; row ``i`` of the result is
+        bitwise identical to ``spmv(xs[i])``.
+        """
+        return self.plan().spmv_batch(xs, jobs=jobs)
 
     def spmv_naive(self, x: np.ndarray,
                    y: Optional[np.ndarray] = None) -> np.ndarray:
@@ -394,7 +405,9 @@ def _template_cell_arrays(portfolio: Portfolio, k: int) -> tuple:
 def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
                  table: Optional[DecompositionTable] = None,
                  masks: Optional[np.ndarray] = None,
-                 sub_keys: Optional[np.ndarray] = None) -> SpasmMatrix:
+                 sub_keys: Optional[np.ndarray] = None,
+                 build_plan: bool = False,
+                 plan_precision: Optional[str] = None) -> SpasmMatrix:
     """Encode a COO matrix into the SPASM data format (steps ③ + ④).
 
     Parameters
@@ -407,7 +420,8 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
         Tile edge length in elements (multiple of ``portfolio.k``).
     table:
         Optional pre-built :class:`DecompositionTable` for the portfolio
-        (rebuilt when omitted).
+        (served from the process-wide :func:`repro.core.decompose.cached_table`
+        when omitted).
     masks, sub_keys:
         Optional precomputed :func:`repro.core.patterns.submatrix_masks`
         output for ``coo`` (row-major keys).  The pipeline's analysis
@@ -415,17 +429,27 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
         encoder the per-submatrix occupancy reduction; they must belong
         to the same matrix and pattern size or a ``ValueError`` is
         raised.
+    build_plan:
+        Fuse plan construction into the encode: the execution plan's
+        gather/segment arrays are finalized straight from the encoder's
+        intermediates — the stream is never re-expanded — and attached
+        to the returned matrix, so the first ``spmv``/``plan()`` call
+        is free.  The fused plan is bitwise identical to what
+        :meth:`SpasmMatrix.plan` would compile later.
+    plan_precision:
+        Value dtype of the fused plan (``"float32"`` opt-in; float64
+        default).  Only meaningful with ``build_plan=True``.
     """
     k = portfolio.k
     tile_size = validate_tile_size(tile_size, k)
     if table is None:
-        table = DecompositionTable(portfolio)
+        table = cached_table(portfolio)
     spt = tile_size // k
     nsubcols = -(-max(coo.shape[1], 1) // k)
     n_tile_cols = -(-max(coo.shape[1], 1) // tile_size)
 
     if coo.nnz == 0:
-        return SpasmMatrix(
+        spasm = SpasmMatrix(
             shape=coo.shape,
             k=k,
             tile_size=tile_size,
@@ -437,6 +461,16 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
             values=np.zeros((0, k), dtype=np.float64),
             source_nnz=0,
         )
+        if build_plan:
+            from repro.exec.plan import ExecutionPlan, stream_digest
+
+            empty = np.zeros(0, dtype=np.int64)
+            spasm._plan = ExecutionPlan.from_slots(
+                coo.shape, empty, empty, np.zeros(0, dtype=np.float64),
+                digest=stream_digest(spasm), source_nnz=0,
+                precision=plan_precision,
+            )
+        return spasm
 
     # --- submatrix grouping (stream order: tile row-major, then submatrix
     # row-major within the tile) ------------------------------------------
@@ -541,7 +575,10 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
 
     # --- value payload -----------------------------------------------------
     cell_r, cell_c = _template_cell_arrays(portfolio, k)
-    cell_bit = cell_r * k + cell_c  # (n_templates, k)
+    # int32: lane ids fit in a byte; the (n_groups, k) gather grid below
+    # is the encoder's largest intermediate, so the narrow dtype halves
+    # its traffic.
+    cell_bit = (cell_r * k + cell_c).astype(np.int32)  # (n_templates, k)
     lane_bits = cell_bit[group_tid]  # (n_groups, k)
     lane_owned = (group_owned[:, None] >> lane_bits & 1).astype(bool)
     values = dense_vals[group_sub[:, None], lane_bits] * lane_owned
@@ -575,7 +612,7 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
     # preserves the stream order of tiles.
     tile_ptr = np.concatenate((tile_starts, [n_groups])).astype(np.int64)
 
-    return SpasmMatrix(
+    spasm = SpasmMatrix(
         shape=coo.shape,
         k=k,
         tile_size=tile_size,
@@ -587,6 +624,79 @@ def encode_spasm(coo: COOMatrix, portfolio: Portfolio, tile_size: int,
         values=values.astype(np.float64),
         source_nnz=coo.nnz,
     )
+
+    if build_plan:
+        # --- fused plan construction (step ⑥ prep, zero re-expansion) ----
+        # The encoder already knows every slot's coordinates: the plan's
+        # per-slot row/col are recovered from the submatrix directory and
+        # the per-template lane offsets — the exact arithmetic of
+        # SpasmMatrix._expand, fed to the same finalize step, so the
+        # fused plan is bitwise identical to a later _compile.  Hashing
+        # the stream (the plan's cache key) overlaps the coordinate work
+        # on the shared pool: hashlib releases the GIL.
+        import time as _time
+
+        from repro.exec.plan import (
+            ExecutionPlan,
+            digest_async,
+            index_dtype_for,
+        )
+
+        t0 = _time.perf_counter()
+        digest = digest_async(spasm)
+        # Two fused-only shortcuts, both exactness-preserving:
+        #
+        # * the padding slots (``vals == 0``) are dropped *before* the
+        #   coordinate gathers — roughly half of a typical stream — so
+        #   no full (n_groups, k) coordinate grid is ever materialized
+        #   (the stream-compile path must expand it to discover the
+        #   same mask);
+        # * the arithmetic runs at the plan's own index width.  The
+        #   narrowing is exact (every coordinate is bounded by the
+        #   matrix shape, pre-checked against the padded slot count, an
+        #   upper bound on what from_slots keeps), so the plan is
+        #   bitwise identical to the int64 stream-compile route:
+        #   ``keep`` is ascending, hence the kept slots reach the
+        #   stable row sort in stream order either way.
+        idx_dt = index_dtype_for(coo.shape, int(values.size))
+        vflat = spasm.values.reshape(-1)
+        keep = np.flatnonzero(vflat != 0.0)
+        # k is 2/4/8 in every portfolio — shift/mask beat div/mod on
+        # the megaslot arrays (exact for non-negative operands).
+        k_pow2 = k & (k - 1) == 0
+        k_shift = k.bit_length() - 1
+        group_of = keep >> k_shift if k_pow2 else keep // k
+        row_base = (
+            sub_tile_r.astype(idx_dt)[group_sub] * spt
+            + sub_ridx.astype(idx_dt)[group_sub]
+        ) * k
+        col_base = (
+            sub_tile_c.astype(idx_dt)[group_sub] * spt
+            + sub_cidx.astype(idx_dt)[group_sub]
+        ) * k
+        # ``lane_bits`` (the value-payload gather grid) already holds
+        # every slot's in-pattern cell id, so one flat gather plus a
+        # divmod recovers the cell offsets — cheaper than re-indexing
+        # the template tables per kept slot.
+        kept_bits = lane_bits.reshape(-1)[keep].astype(
+            idx_dt, copy=False
+        )
+        if k_pow2:
+            cell_r_of = kept_bits >> idx_dt.type(k_shift)
+            cell_c_of = kept_bits & idx_dt.type(k - 1)
+        else:
+            cell_r_of, cell_c_of = np.divmod(
+                kept_bits, idx_dt.type(k)
+            )
+        kept_rows = row_base[group_of] + cell_r_of
+        kept_cols = col_base[group_of] + cell_c_of
+        spasm._plan = ExecutionPlan.from_slots(
+            coo.shape, kept_rows, kept_cols, vflat[keep],
+            digest=digest, source_nnz=coo.nnz,
+            precision=plan_precision, started=t0, compacted=True,
+        )
+
+    return spasm
 
 
 def groups_per_submatrix(coo: COOMatrix, table: DecompositionTable,

@@ -268,7 +268,12 @@ class SpasmCompiler:
                 fixed_tile_size=fixed_tile_size,
                 fixed_hw_config=fixed_hw_config,
             ),
-            EncodePass(hazard_aware=self.hazard_aware),
+            # When a plan is requested, fuse its construction into the
+            # encode (one pass over the encoder's intermediates instead
+            # of a separate stream re-expansion); PlanPass then adopts
+            # the attached plan and handles caching/tracing.
+            EncodePass(hazard_aware=self.hazard_aware,
+                       fuse_plan=self.build_plan),
         ]
         if self.verify:
             passes.append(VerifyPass())

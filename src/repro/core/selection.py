@@ -13,7 +13,11 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.decompose import DecompositionError, DecompositionTable
+from repro.core.decompose import (
+    DecompositionError,
+    DecompositionTable,
+    cached_table,
+)
 from repro.core.patterns import PatternHistogram
 from repro.core.templates import Portfolio, candidate_portfolios
 
@@ -90,7 +94,7 @@ def select_portfolio(histogram: PatternHistogram, candidates=None,
                 f"portfolio {portfolio.name} has k={portfolio.k} but the "
                 f"histogram was built with k={histogram.k}"
             )
-        table = DecompositionTable(portfolio)
+        table = cached_table(portfolio)
         try:
             total = table.total_padding(scored)
         except DecompositionError:
@@ -159,7 +163,7 @@ def padding_rate(histogram: PatternHistogram,
     Defined as padding / stored slots (Section V-B's ``padding_rate``):
     ``stored = nnz + padding``.
     """
-    table = DecompositionTable(portfolio)
+    table = cached_table(portfolio)
     total_padding = table.total_padding(histogram)
     freqs = histogram.frequencies
     nnz = int((histogram.nnz_per_pattern() * freqs).sum())
@@ -176,7 +180,7 @@ def storage_bytes_estimate(histogram: PatternHistogram,
     ``groups * (k + 1) * 4`` bytes, with
     ``groups = (nnz + padding) / k``.
     """
-    table = DecompositionTable(portfolio)
+    table = cached_table(portfolio)
     total_padding = table.total_padding(histogram)
     freqs = histogram.frequencies
     nnz = int((histogram.nnz_per_pattern() * freqs).sum())

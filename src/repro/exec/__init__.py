@@ -3,10 +3,14 @@
 The format's reference execution (:meth:`repro.core.format.SpasmMatrix`
 ``.spmv``) re-expands the stream into per-slot coordinates on every
 call.  This package compiles a matrix-specific :class:`ExecutionPlan`
-*once* — coordinates expanded, padding slots dropped, the stream sorted
-by output row, segment boundaries precomputed — so every subsequent
-SpMV is a pure gather + ``np.add.reduceat`` segment reduction, and a
-multi-RHS SpMM reuses the same plan with one gather per vector block.
+*once* — coordinates taken straight from the encoder on the fused path
+(or re-expanded), padding slots dropped, the stream sorted by output
+row, segment boundaries precomputed, arrays stored in the narrowest
+dtype that fits — so every subsequent SpMV is a pure gather + a
+sequential segment reduction (scipy's compiled CSR kernel for compact
+int32/float64 plans, ``np.bincount`` otherwise; bitwise-identical
+either way), and a multi-RHS SpMM or ``spmv_batch`` reuses the same
+plan with one gather per vector block.
 
 Plans are content-keyed (:func:`stream_digest`), cached lazily on the
 matrix, optionally persisted through the pipeline's artifact cache, and
@@ -17,6 +21,9 @@ executable on a thread pool in deterministic row-block shards
 from repro.exec.plan import (
     ExecutionPlan,
     PLAN_STAGE,
+    csr_kernels_available,
+    digest_async,
+    index_dtype_for,
     plan_checksum,
     set_shard_fault_hook,
     stream_digest,
@@ -25,6 +32,9 @@ from repro.exec.plan import (
 __all__ = [
     "ExecutionPlan",
     "PLAN_STAGE",
+    "csr_kernels_available",
+    "digest_async",
+    "index_dtype_for",
     "plan_checksum",
     "set_shard_fault_hook",
     "stream_digest",

@@ -6,34 +6,64 @@ that depends only on the *matrix* is computed once at build time, so the
 per-call work is the minimum the memory system allows.
 
 Build time (once per matrix)
-    * expand every stored slot to ``(row, col, value)`` coordinates,
+    * expand every stored slot to ``(row, col, value)`` coordinates —
+      or, on the fused path, take the coordinates straight from the
+      encoder's intermediates (:func:`repro.core.format.encode_spasm`
+      with ``build_plan=True``) without re-expanding the stream,
     * drop padding slots (``value == 0`` contributes nothing),
     * stable-sort the stream by output row,
-    * record the segment boundary of each non-empty output row.
+    * record the segment boundary of each non-empty output row,
+    * store the arrays in the narrowest layout that can address them
+      (int32 indices whenever shape and slot count fit; float64 values
+      unless ``precision="float32"`` is requested explicitly).
 
 Call time (every SpMV)
     * gather ``vals * x[cols]`` (one sequential read of the plan, one
       indexed read of ``x``),
-    * ``np.add.reduceat`` over the precomputed segment boundaries,
-    * scatter the per-row sums into ``y`` (each row written exactly
-      once — no atomic/unbuffered accumulation anywhere).
+    * reduce each output-row segment with *sequential* left-to-right
+      accumulation — compact int32/float64 plans dispatch to scipy's
+      compiled CSR kernel when available, everything else runs the
+      portable ``np.bincount`` reduction; both accumulate in the exact
+      same order, so every engine/dtype combination (and the
+      ``spmv_naive`` oracle) produces bitwise-identical float64 output.
 
 Sharding splits the *segments* (output rows) into contiguous blocks of
 roughly equal slot count; shards write disjoint rows, and each segment
-is reduced by the same ``reduceat`` call sequence regardless of the
-shard grid, so ``spmv(x, jobs=N)`` is bitwise identical for every
-``N``.  See ``docs/EXEC.md`` for the full layout and semantics.
+is reduced by the same sequential sum regardless of the shard grid, so
+``spmv(x, jobs=N)`` is bitwise identical for every ``N``.  With
+``jobs=None`` a slots-per-worker heuristic decides whether threads can
+pay for themselves at all (they rarely can below several million slots
+— the kernels are GIL-bound).  See ``docs/EXEC.md`` for the full
+layout and semantics.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import threading
+import time
+import types
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+#: scipy's compiled CSR kernels accumulate rows sequentially — the same
+#: order as ``np.bincount`` and ``np.add.at`` — and consume int32 index
+#: arrays natively, which is exactly the compact plan layout.  Optional:
+#: every code path below falls back to the portable numpy kernel.
+_csr_kernels: Any = None
+try:  # pragma: no cover - exercised implicitly by every kernel test
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    if hasattr(_scipy_sparsetools, "csr_matvec") and hasattr(
+        _scipy_sparsetools, "csr_matvecs"
+    ):
+        _csr_kernels = _scipy_sparsetools
+except ImportError:  # pragma: no cover - scipy is optional
+    pass
 
 #: Stage name used for persisted plan artifacts (``plan-<key>.npz``
 #: entries in a :class:`repro.pipeline.cache.ArtifactCache`).
@@ -43,11 +73,26 @@ PLAN_STAGE = "plan"
 #: plans collapse to the serial path no matter what ``jobs`` says.
 MIN_SHARD_SLOTS = 16384
 
+#: Slots per worker the ``jobs=None`` auto heuristic demands before it
+#: engages threads at all.  The gather/reduce kernels hold the GIL for
+#: most of their runtime, so a second thread only pays for itself on
+#: very large plans; below the threshold auto mode stays serial (forced
+#: ``jobs=N`` still shards, for tests and fault campaigns).
+AUTO_SHARD_SLOTS = 4 << 20
+
 #: Upper bound on ``slots x vectors`` elements materialized by one SpMM
 #: gather block (8M float64 elements = 64 MiB scratch).
 SPMM_BLOCK_ELEMS = 1 << 23
 
-_POOLS: Dict[int, ThreadPoolExecutor] = {}
+#: Index dtypes a plan may store (narrow whenever it fits).
+_INDEX_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
+
+#: Value dtypes a plan may store (float32 only behind explicit opt-in).
+_VALUE_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_INT32_MAX = int(np.iinfo(np.int32).max)
+
+_POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
 
 #: Fault-injection hook consulted at the start of every shard dispatch
@@ -68,19 +113,48 @@ def set_shard_fault_hook(
     return previous
 
 
+def csr_kernels_available() -> bool:
+    """Whether the compiled CSR fast path can be dispatched at all."""
+    return _csr_kernels is not None
+
+
+def index_dtype_for(shape: Tuple[int, int], n_slots: int) -> np.dtype:
+    """The narrowest supported index dtype able to address a plan.
+
+    int32 covers shape extents *and* the slot count (``seg_starts``
+    holds offsets up to ``n_slots``); anything larger falls back to
+    int64.
+    """
+    hi = max(int(shape[0]), int(shape[1]), int(n_slots))
+    return np.dtype(np.int32 if hi <= _INT32_MAX else np.int64)
+
+
 def plan_checksum(cols: np.ndarray, vals: np.ndarray,
                   seg_starts: np.ndarray, seg_rows: np.ndarray,
                   shape: Tuple[int, int]) -> str:
-    """SHA-256 over a plan's executable arrays.
+    """SHA-256 over a plan's executable arrays *and their dtypes*.
 
     Computed once at build time and carried on the plan; re-computing
     it (:meth:`ExecutionPlan.validate`) catches any post-build
-    corruption of the gather indices, values or segment pointers.
+    corruption of the gather indices, values or segment pointers.  The
+    dtype tags make an int32 plan and an int64 plan of the same stream
+    distinct artifacts — a cache load can never silently up- or
+    down-cast without tripping validation.
     """
     h = hashlib.sha256()
-    h.update(repr((int(shape[0]), int(shape[1]))).encode())
+    h.update(
+        repr(
+            (
+                (int(shape[0]), int(shape[1])),
+                (cols.dtype.str, vals.dtype.str,
+                 seg_starts.dtype.str, seg_rows.dtype.str),
+            )
+        ).encode()
+    )
     for arr in (cols, vals, seg_starts, seg_rows):
-        h.update(np.ascontiguousarray(arr).tobytes())
+        # Hash through the buffer protocol — same bytes as tobytes()
+        # for a C-contiguous array, without materializing a copy.
+        h.update(np.ascontiguousarray(arr).data)
     return h.hexdigest()
 
 
@@ -108,17 +182,21 @@ def _join_shards(futures: Sequence["Future[None]"]) -> None:
         raise
 
 
-def _pool(workers: int) -> ThreadPoolExecutor:
-    """A shared thread pool per worker count (created once, reused)."""
+def _pool() -> ThreadPoolExecutor:
+    """The single shared executor for shards and background hashing.
+
+    One pool for the whole process — created lazily, reused across
+    every call and every plan, bounded by the core count — so repeated
+    sharded calls never accumulate threads.
+    """
+    global _POOL
     with _POOL_LOCK:
-        pool = _POOLS.get(workers)
-        if pool is None:
-            pool = ThreadPoolExecutor(
-                max_workers=workers,
-                thread_name_prefix=f"spasm-exec-{workers}",
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=max(4, min(32, os.cpu_count() or 1)),
+                thread_name_prefix="spasm-exec",
             )
-            _POOLS[workers] = pool
-        return pool
+        return _POOL
 
 
 def stream_digest(spasm: Any) -> str:
@@ -147,8 +225,91 @@ def stream_digest(spasm: Any) -> str:
         spasm.words,
         spasm.values,
     ):
-        h.update(np.ascontiguousarray(arr).tobytes())
+        # Buffer-protocol hashing: identical digest to tobytes(),
+        # minus a full copy of the payload per array.
+        h.update(np.ascontiguousarray(arr).data)
     return h.hexdigest()
+
+
+def _stream_snapshot(spasm: Any) -> Any:
+    """Copy exactly what :func:`stream_digest` hashes, nothing else.
+
+    The copies pin the stream's *build-time* content: the digest of a
+    deferred/concurrent hash must describe the stream the plan was
+    built from, not whatever the live arrays hold when the hash
+    finally runs — otherwise an in-place mutation after a fused encode
+    could re-key the stale plan to the mutated stream and lazy-plan
+    adoption would serve wrong results.  A sequential memcpy of the
+    payload is several times cheaper than the hash itself.
+    """
+    return types.SimpleNamespace(
+        shape=tuple(spasm.shape),
+        k=int(spasm.k),
+        tile_size=int(spasm.tile_size),
+        portfolio=types.SimpleNamespace(
+            masks=tuple(int(m) for m in spasm.portfolio.masks)
+        ),
+        tile_rows=np.array(spasm.tile_rows),
+        tile_cols=np.array(spasm.tile_cols),
+        tile_ptr=np.array(spasm.tile_ptr),
+        words=np.array(spasm.words),
+        values=np.array(spasm.values),
+    )
+
+
+class _DeferredDigest:
+    """A digest that computes on first ``result()`` call.
+
+    The single-core stand-in for a pool future: submitting the hash
+    eagerly on one CPU just steals cycles from the build it is supposed
+    to overlap with, so the hash waits until someone actually needs the
+    identity (the :attr:`ExecutionPlan.digest` property memoizes the
+    resolution, so it runs at most once per plan).
+    """
+
+    __slots__ = ("_snapshot",)
+
+    def __init__(self, snapshot: Any) -> None:
+        self._snapshot = snapshot
+
+    def result(self) -> str:
+        return stream_digest(self._snapshot)
+
+
+def digest_async(spasm: Any) -> Any:
+    """Take :func:`stream_digest` off the build's critical path.
+
+    The hash runs over a build-time snapshot of the stream
+    (:func:`_stream_snapshot`), so the plan's identity is immune to
+    later in-place mutation of the live arrays no matter when the hash
+    lands.  With more than one core it is submitted to the shared pool
+    — ``hashlib`` releases the GIL while hashing large buffers, so it
+    genuinely overlaps plan construction.  On a single core it is
+    deferred instead (:class:`_DeferredDigest`): concurrency would
+    only interleave with the build, so the hash runs lazily at the
+    first digest access.  Either way the returned handle answers
+    ``result()`` and is accepted anywhere a digest string is
+    (``ExecutionPlan.from_slots``).
+    """
+    snapshot = _stream_snapshot(spasm)
+    if (os.cpu_count() or 1) > 1:
+        return _pool().submit(stream_digest, snapshot)
+    return _DeferredDigest(snapshot)
+
+
+def _plan_cache_key(digest: str, index: Optional[str],
+                    precision: Optional[str]) -> str:
+    """Artifact key for one (stream, layout) combination.
+
+    The default layout (auto-narrowed indices, float64 values) keeps
+    the bare digest key; explicit layout overrides hash the layout into
+    the key so differently-typed plans of one stream coexist in the
+    cache instead of thrashing a single entry.
+    """
+    if index is None and precision is None:
+        return digest[:40]
+    tag = hashlib.sha256(f"{digest}|{index}|{precision}".encode())
+    return tag.hexdigest()[:40]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -161,24 +322,37 @@ class ExecutionPlan:
         Logical matrix shape ``(nrows, ncols)``.
     cols:
         Column index of every non-padding slot, stream order stably
-        sorted by output row (the gather indices into ``x``).
+        sorted by output row (the gather indices into ``x``); int32
+        whenever the matrix and slot count fit, else int64.
     vals:
-        Matching slot values (the gather multiplicands).
+        Matching slot values (float64, or float32 behind the explicit
+        ``precision=`` opt-in).
     seg_starts:
         Offset into ``cols``/``vals`` where each output-row segment
-        begins (``n_segments`` entries, strictly increasing).
+        begins (``n_segments`` entries, strictly increasing); same
+        dtype as ``cols``.
     seg_rows:
         Output row of each segment (strictly increasing, all within
-        the matrix — padding never carries values past the edge).
+        the matrix — padding never carries values past the edge); same
+        dtype as ``cols``.
     digest:
         :func:`stream_digest` of the source stream; the cache key and
-        the invalidation token of lazily cached plans.
+        the invalidation token of lazily cached plans.  The fused
+        builder hands the field a pending ``Future`` so hashing never
+        sits on the build's critical path — the :attr:`digest`
+        property resolves (and memoizes) it on first access, which is
+        always before the value is needed: cache stores, verify rules
+        and lazy-plan adoption all go through the property, while
+        ``spmv`` itself never touches it.
     source_nnz:
         Non-zero count of the source matrix (throughput accounting).
     checksum:
         :func:`plan_checksum` of the executable arrays at build time;
         :meth:`validate` recomputes and compares it to detect any
         later corruption before the arrays are dispatched.
+    build_ms:
+        Wall-clock milliseconds the build took (fused or compiled);
+        informational only — excluded from equality and the checksum.
     """
 
     shape: Tuple[int, int]
@@ -186,9 +360,32 @@ class ExecutionPlan:
     vals: np.ndarray
     seg_starts: np.ndarray
     seg_rows: np.ndarray
-    digest: str
+    _digest: Union[str, "Future[str]"] = dataclasses.field(repr=False)
     source_nnz: int
     checksum: str = ""
+    build_ms: float = dataclasses.field(default=0.0, compare=False)
+    #: Lazily derived kernel state (per-slot rows, widened gather
+    #: indices, the CSR indptr).  Never persisted, never checksummed,
+    #: rebuilt from the four executable arrays on first use.
+    _scratch: Dict[str, Any] = dataclasses.field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
+
+    @property
+    def digest(self) -> str:
+        """The stream digest, resolving a deferred hash on first use.
+
+        The fused builder leaves the digest computing on the shared
+        pool instead of blocking the build on it; whoever needs the
+        identity first (cache store, verify, lazy-plan adoption) pays
+        the residual wait here, after which the resolved string is
+        memoized in place.
+        """
+        value = self._digest
+        if not isinstance(value, str):
+            value = value.result()
+            object.__setattr__(self, "_digest", value)
+        return value
 
     # ------------------------------------------------------------------
     # construction
@@ -196,75 +393,212 @@ class ExecutionPlan:
 
     @classmethod
     def build(cls, spasm: Any, cache: Any = None,
-              digest: Optional[str] = None) -> "ExecutionPlan":
+              digest: Optional[str] = None,
+              index: Optional[str] = None,
+              precision: Optional[str] = None) -> "ExecutionPlan":
         """Compile a plan for a :class:`~repro.core.format.SpasmMatrix`.
 
         ``cache`` is an optional
         :class:`~repro.pipeline.cache.ArtifactCache`: the built plan is
         persisted as a ``plan-<key>.npz`` artifact keyed on the stream
-        digest, and a later build of an identical stream — in this or
-        any other process — is served from disk.
+        digest (and the layout, when overridden), and a later build of
+        an identical stream — in this or any other process — is served
+        from disk.  ``index``/``precision`` force a specific array
+        layout (``"int32"``/``"int64"``, ``"float32"``/``"float64"``);
+        by default indices auto-narrow and values stay float64.
         """
         if digest is None:
             digest = stream_digest(spasm)
+        key = _plan_cache_key(digest, index, precision)
         if cache is not None:
-            cached = cls._from_cache(spasm, cache, digest)
+            cached = cls._from_cache(spasm, cache, digest, key=key,
+                                     index=index, precision=precision)
             if cached is not None:
                 return cached
-        plan = cls._compile(spasm, digest)
+        plan = cls._compile(spasm, digest, index=index,
+                            precision=precision)
         if cache is not None:
-            plan._to_cache(cache)
+            plan._to_cache(cache, key=key)
         return plan
 
     @classmethod
-    def _compile(cls, spasm: Any, digest: str) -> "ExecutionPlan":
-        """The actual build: expand, drop padding, sort, segment."""
-        rows, cols, vals = spasm._expand()
-        keep = vals != 0.0
-        rows = rows[keep]
-        cols = cols[keep]
-        vals = vals[keep]
-        order = np.argsort(rows, kind="stable")
-        rows = rows[order]
-        seg_rows, seg_starts = np.unique(rows, return_index=True)
-        shape = (int(spasm.shape[0]), int(spasm.shape[1]))
-        cols = np.ascontiguousarray(cols[order], dtype=np.int64)
-        vals = np.ascontiguousarray(vals[order], dtype=np.float64)
-        seg_starts = seg_starts.astype(np.int64)
-        seg_rows = seg_rows.astype(np.int64)
+    def from_slots(cls, shape: Tuple[int, int], rows: np.ndarray,
+                   cols: np.ndarray, vals: np.ndarray,
+                   digest: Union[str, "Future[str]"], source_nnz: int,
+                   index: Optional[str] = None,
+                   precision: Optional[str] = None,
+                   started: Optional[float] = None,
+                   compacted: bool = False) -> "ExecutionPlan":
+        """Finalize a plan from flat per-slot coordinates.
+
+        ``rows``/``cols``/``vals`` are equal-length arrays in stream
+        order with padding slots still present (``vals == 0``); this is
+        the shared tail of both builders — :meth:`_compile` feeds it
+        the re-expanded stream, the fused encode path feeds it the
+        encoder's own intermediates.  ``digest`` may be a ``Future``
+        (left pending — the :attr:`digest` property resolves it on
+        first access, so hashing never blocks the build) and
+        ``started`` back-dates :attr:`build_ms` to include the
+        caller's coordinate work.  ``compacted=True`` promises the
+        caller already dropped every padding slot (``vals`` holds no
+        zeros, in stream order) and skips the keep scan; the result is
+        bitwise identical either way because the keep mask uses the
+        same ``!= 0`` criterion and preserves stream order.
+        """
+        t0 = time.perf_counter() if started is None else started
+        shape = (int(shape[0]), int(shape[1]))
+        rows = np.asarray(rows).reshape(-1)
+        cols = np.asarray(cols).reshape(-1)
+        vals = np.asarray(vals, dtype=np.float64).reshape(-1)
+        if compacted:
+            kept_rows, kept_cols, kept_vals = rows, cols, vals
+        else:
+            keep = np.flatnonzero(vals != 0.0)
+            kept_rows = rows[keep]
+            kept_cols = cols[keep]
+            kept_vals = vals[keep]
+        n_slots = int(kept_rows.size)
+
+        index_dt = (np.dtype(index) if index is not None
+                    else index_dtype_for(shape, n_slots))
+        if index_dt not in _INDEX_DTYPES:
+            raise ValueError(f"unsupported index dtype {index_dt}")
+        if index_dt == np.dtype(np.int32) and max(
+            shape[0], shape[1], n_slots
+        ) > _INT32_MAX:
+            raise ValueError(
+                f"int32 indices cannot address a "
+                f"{shape[0]}x{shape[1]} plan with {n_slots} slots"
+            )
+        value_dt = (np.dtype(precision) if precision is not None
+                    else np.dtype(np.float64))
+        if value_dt not in _VALUE_DTYPES:
+            raise ValueError(f"unsupported value dtype {value_dt}")
+
+        # The row sort is a stable counting sort when SciPy is around:
+        # ``coo_tocsr`` is one O(n_slots + nrows) C pass that emits the
+        # permuted cols/vals and the row pointer directly — it walks
+        # the input in order, so ties keep stream order exactly like
+        # ``np.argsort(kind="stable")`` and the resulting plan is
+        # bitwise identical to the portable path below (asserted by
+        # the kernel-parity tests).  The dense row pointer costs
+        # O(nrows) scratch, so pathologically tall, nearly-empty
+        # shapes fall back to the sort.
+        use_tocsr = (
+            _csr_kernels is not None
+            and hasattr(_csr_kernels, "coo_tocsr")
+            and n_slots > 0
+            and shape[0] <= 8 * n_slots + 1024
+        )
+        if use_tocsr:
+            # coo_tocsr scatters through the row pointer UNCHECKED — an
+            # out-of-range row (a corrupted stream being recompiled, as
+            # the fault campaign does) would write out of bounds and
+            # crash.  The sort path tolerates any coordinates and
+            # leaves detection to validate(), so route bad rows there.
+            # Two sequential reductions: negligible next to the sort.
+            rmin = int(kept_rows.min())
+            rmax = int(kept_rows.max())
+            use_tocsr = 0 <= rmin and rmax < shape[0]
+        if n_slots == 0:
+            out_cols = np.zeros(0, dtype=index_dt)
+            out_vals = np.zeros(0, dtype=value_dt)
+            seg_starts = np.zeros(0, dtype=index_dt)
+            seg_rows = np.zeros(0, dtype=index_dt)
+        elif use_tocsr:
+            src_rows = np.ascontiguousarray(kept_rows, dtype=index_dt)
+            src_cols = np.ascontiguousarray(kept_cols, dtype=index_dt)
+            src_vals = np.ascontiguousarray(kept_vals,
+                                            dtype=np.float64)
+            # coo_tocsr fully initializes the row pointer (SciPy's own
+            # tocsr passes np.empty here too).
+            indptr = np.empty(shape[0] + 1, dtype=index_dt)
+            out_cols = np.empty(n_slots, dtype=index_dt)
+            sorted_vals = np.empty(n_slots, dtype=np.float64)
+            _csr_kernels.coo_tocsr(
+                shape[0], shape[1], n_slots,
+                src_rows, src_cols, src_vals,
+                indptr, out_cols, sorted_vals,
+            )
+            out_vals = np.ascontiguousarray(sorted_vals,
+                                            dtype=value_dt)
+            nz_rows = np.flatnonzero(indptr[1:] != indptr[:-1])
+            seg_rows = np.ascontiguousarray(nz_rows, dtype=index_dt)
+            seg_starts = np.ascontiguousarray(indptr[nz_rows],
+                                              dtype=index_dt)
+        else:
+            order = np.argsort(kept_rows, kind="stable")
+            srows = kept_rows[order]
+            out_cols = np.ascontiguousarray(kept_cols[order],
+                                            dtype=index_dt)
+            out_vals = np.ascontiguousarray(kept_vals[order],
+                                            dtype=value_dt)
+            bounds = np.flatnonzero(srows[1:] != srows[:-1]) + 1
+            starts64 = np.concatenate(
+                (np.zeros(1, dtype=np.int64), bounds)
+            )
+            seg_rows = np.ascontiguousarray(srows[starts64],
+                                            dtype=index_dt)
+            seg_starts = np.ascontiguousarray(starts64, dtype=index_dt)
+        checksum = plan_checksum(out_cols, out_vals, seg_starts,
+                                 seg_rows, shape)
         return cls(
             shape=shape,
-            cols=cols,
-            vals=vals,
+            cols=out_cols,
+            vals=out_vals,
             seg_starts=seg_starts,
             seg_rows=seg_rows,
-            digest=digest,
-            source_nnz=int(spasm.source_nnz),
-            checksum=plan_checksum(cols, vals, seg_starts, seg_rows,
-                                   shape),
+            _digest=digest,
+            source_nnz=int(source_nnz),
+            checksum=checksum,
+            build_ms=(time.perf_counter() - t0) * 1e3,
         )
 
     @classmethod
-    def _from_cache(cls, spasm: Any, cache: Any,
-                    digest: str) -> Optional["ExecutionPlan"]:
+    def _compile(cls, spasm: Any, digest: str,
+                 index: Optional[str] = None,
+                 precision: Optional[str] = None) -> "ExecutionPlan":
+        """The standalone build: re-expand the stream, then finalize."""
+        started = time.perf_counter()
+        rows, cols, vals = spasm._expand()
+        return cls.from_slots(
+            spasm.shape, rows, cols, vals,
+            digest=digest,
+            source_nnz=int(spasm.source_nnz),
+            index=index,
+            precision=precision,
+            started=started,
+        )
+
+    @classmethod
+    def _from_cache(cls, spasm: Any, cache: Any, digest: str,
+                    key: Optional[str] = None,
+                    index: Optional[str] = None,
+                    precision: Optional[str] = None,
+                    ) -> Optional["ExecutionPlan"]:
         """Load a persisted plan; ``None`` on miss or a stale entry.
 
-        A stale or internally inconsistent entry (the byte payload is
-        intact — :class:`~repro.pipeline.cache.ArtifactCache` already
-        checksums that — but its content no longer matches this stream
-        or its own recorded plan checksum) is quarantined before the
-        miss is reported, so it is never consulted again.
+        Arrays are adopted **as stored** — no dtype conversion on the
+        hit path, so an int32/float32 plan round-trips bit-for-bit and
+        copy-free.  A stale or internally inconsistent entry (the byte
+        payload is intact — :class:`~repro.pipeline.cache.ArtifactCache`
+        already checksums that — but its content no longer matches this
+        stream, its own recorded plan checksum, or the layout this
+        build would produce) is quarantined before the miss is
+        reported, so it is never consulted again.
         """
-        entry = cache.load(PLAN_STAGE, digest[:40])
+        if key is None:
+            key = _plan_cache_key(digest, index, precision)
+        entry = cache.load(PLAN_STAGE, key)
         if entry is None:
             return None
         reason = None
         plan = None
         try:
-            cols = entry.arrays["cols"].astype(np.int64)
-            vals = entry.arrays["vals"].astype(np.float64)
-            seg_starts = entry.arrays["seg_starts"].astype(np.int64)
-            seg_rows = entry.arrays["seg_rows"].astype(np.int64)
+            cols = entry.arrays["cols"]
+            vals = entry.arrays["vals"]
+            seg_starts = entry.arrays["seg_starts"]
+            seg_rows = entry.arrays["seg_rows"]
             meta_digest = str(entry.meta["digest"])
             shape = (int(entry.meta["nrows"]), int(entry.meta["ncols"]))
             source_nnz = int(entry.meta["source_nnz"])
@@ -272,8 +606,21 @@ class ExecutionPlan:
         except (KeyError, TypeError, ValueError) as exc:
             reason = f"malformed plan entry: {exc}"
         else:
+            expected_index = (np.dtype(index) if index is not None
+                              else index_dtype_for(shape, cols.size))
+            expected_value = (np.dtype(precision)
+                              if precision is not None
+                              else np.dtype(np.float64))
             if meta_digest != digest:
                 reason = "stale plan entry: stream digest mismatch"
+            elif cols.dtype != expected_index or (
+                vals.dtype != expected_value
+            ):
+                reason = (
+                    f"plan entry layout mismatch: stored "
+                    f"{cols.dtype.name}/{vals.dtype.name}, build wants "
+                    f"{expected_index.name}/{expected_value.name}"
+                )
             else:
                 plan = cls(
                     shape=shape,
@@ -281,7 +628,7 @@ class ExecutionPlan:
                     vals=vals,
                     seg_starts=seg_starts,
                     seg_rows=seg_rows,
-                    digest=digest,
+                    _digest=digest,
                     source_nnz=source_nnz,
                     checksum=checksum,
                 )
@@ -293,15 +640,15 @@ class ExecutionPlan:
                     reason = "; ".join(problems)
                     plan = None
         if plan is None and hasattr(cache, "quarantine"):
-            cache.quarantine(PLAN_STAGE, digest[:40],
+            cache.quarantine(PLAN_STAGE, key,
                              reason=reason or "invalid plan entry")
         return plan
 
-    def _to_cache(self, cache: Any) -> None:
+    def _to_cache(self, cache: Any, key: Optional[str] = None) -> None:
         """Persist this plan as a content-addressed artifact."""
         cache.store(
             PLAN_STAGE,
-            self.digest[:40],
+            self.digest[:40] if key is None else key,
             {
                 "cols": self.cols,
                 "vals": self.vals,
@@ -346,6 +693,7 @@ class ExecutionPlan:
         return (
             f"plan[{self.shape[0]}x{self.shape[1]}]: "
             f"{self.n_slots} slots over {self.n_segments} row segments, "
+            f"{self.cols.dtype.name}/{self.vals.dtype.name} layout, "
             f"{self.nbytes / 1e6:.1f} MB"
         )
 
@@ -353,8 +701,9 @@ class ExecutionPlan:
         """Integrity check of the executable arrays; problems found.
 
         Verifies the structural invariants every kernel dispatch relies
-        on (shape agreement, strictly increasing segment pointers and
-        rows, in-range gather indices, finite values) and then recomputes
+        on (shape agreement, a supported and self-consistent dtype
+        layout, strictly increasing segment pointers and rows, in-range
+        gather indices, finite values) and then recomputes
         :func:`plan_checksum` against the build-time :attr:`checksum`.
         An empty list means the plan is safe to dispatch; any entry
         names the violated invariant.  Used by the resilience guard
@@ -362,6 +711,29 @@ class ExecutionPlan:
         :func:`repro.verify.verify_plan`.
         """
         problems: List[str] = []
+        if self.cols.dtype not in _INDEX_DTYPES:
+            problems.append(
+                f"unsupported index dtype {self.cols.dtype.name}"
+            )
+        elif (
+            self.seg_starts.dtype != self.cols.dtype
+            or self.seg_rows.dtype != self.cols.dtype
+        ):
+            problems.append(
+                f"mixed index dtypes: cols={self.cols.dtype.name}, "
+                f"seg_starts={self.seg_starts.dtype.name}, "
+                f"seg_rows={self.seg_rows.dtype.name}"
+            )
+        elif self.cols.dtype == np.dtype(np.int32) and max(
+            self.shape[0], self.shape[1], self.n_slots
+        ) > _INT32_MAX:
+            problems.append(
+                "int32 index layout cannot address this plan"
+            )
+        if self.vals.dtype not in _VALUE_DTYPES:
+            problems.append(
+                f"unsupported value dtype {self.vals.dtype.name}"
+            )
         if self.cols.ndim != 1 or self.cols.shape != self.vals.shape:
             problems.append(
                 f"cols/vals shape mismatch: {self.cols.shape} vs "
@@ -426,7 +798,7 @@ class ExecutionPlan:
     def diagonal(self) -> np.ndarray:
         """The matrix diagonal (for Jacobi-style preconditioning)."""
         n = min(self.shape)
-        rows = np.repeat(self.seg_rows, self._seg_counts())
+        rows = self._slot_rows()
         on_diag = rows == self.cols
         return np.bincount(
             rows[on_diag],
@@ -439,8 +811,61 @@ class ExecutionPlan:
         return np.diff(np.append(self.seg_starts, self.n_slots))
 
     # ------------------------------------------------------------------
+    # derived kernel state (lazy, never persisted)
+    # ------------------------------------------------------------------
+
+    def _slot_rows(self) -> np.ndarray:
+        """Per-slot output row, widened to intp for the numpy kernels."""
+        rows = self._scratch.get("rows")
+        if rows is None:
+            rows = np.repeat(
+                self.seg_rows.astype(np.intp, copy=False),
+                self._seg_counts(),
+            )
+            self._scratch["rows"] = rows
+        return rows
+
+    def _cols_intp(self) -> np.ndarray:
+        """Gather indices widened to intp (what np.take wants)."""
+        cols = self._scratch.get("cols_intp")
+        if cols is None:
+            cols = self.cols.astype(np.intp, copy=False)
+            self._scratch["cols_intp"] = cols
+        return cols
+
+    def _csr_indptr(self) -> Optional[np.ndarray]:
+        """CSR row pointers when the compiled fast path applies.
+
+        Eligible exactly when scipy's kernels are importable and the
+        plan is in the compact int32/float64 layout those kernels
+        consume natively; ``None`` routes dispatch to the portable
+        ``np.bincount`` kernel (same accumulation order, same bits).
+        """
+        if "indptr" not in self._scratch:
+            indptr = None
+            if (
+                _csr_kernels is not None
+                and self.cols.dtype == np.dtype(np.int32)
+                and self.vals.dtype == np.dtype(np.float64)
+            ):
+                indptr = np.zeros(self.shape[0] + 1, dtype=np.int32)
+                indptr[self.seg_rows.astype(np.intp) + 1] = (
+                    self._seg_counts().astype(np.int32)
+                )
+                np.cumsum(indptr, out=indptr)
+            self._scratch["indptr"] = indptr
+        return self._scratch["indptr"]
+
+    # ------------------------------------------------------------------
     # sharding
     # ------------------------------------------------------------------
+
+    def _auto_jobs(self) -> int:
+        """Worker count the slots-per-worker heuristic picks."""
+        jobs = self.n_slots // AUTO_SHARD_SLOTS
+        if jobs < 2:
+            return 1
+        return min(jobs, os.cpu_count() or 1)
 
     def shard_bounds(self, jobs: int) -> List[Tuple[int, int]]:
         """Contiguous segment ranges of roughly equal slot count.
@@ -474,26 +899,29 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
 
     def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
-             jobs: int = 1) -> np.ndarray:
+             jobs: Optional[int] = None) -> np.ndarray:
         """Execute ``y = A @ x + y`` through the compiled plan.
 
-        ``jobs > 1`` runs the row-block shards on a shared thread pool;
-        the result is bitwise identical to ``jobs=1`` (shards write
-        disjoint rows and every segment reduces through the exact same
-        ``reduceat`` sequence).
+        ``jobs=None`` lets the slots-per-worker heuristic decide
+        (serial below ~8M slots); ``jobs=N`` forces N row-block shards
+        on the shared thread pool.  Every choice is bitwise identical:
+        shards write disjoint rows and every segment accumulates
+        left-to-right in the same order.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.ascontiguousarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
             raise ValueError(
                 f"x of shape {x.shape} incompatible with {self.shape}"
             )
         out = np.zeros(self.shape[0], dtype=np.float64)
-        shards = self.shard_bounds(jobs)
+        jobs_eff = self._auto_jobs() if jobs is None else int(jobs)
+        shards = self.shard_bounds(jobs_eff)
         if len(shards) == 1:
             self._run_shard(out, x, 0, self.n_segments)
         else:
+            pool = _pool()
             _join_shards([
-                _pool(len(shards)).submit(self._run_shard, out, x, lo, hi)
+                pool.submit(self._run_shard, out, x, lo, hi)
                 for lo, hi in shards
             ])
         if y is not None:
@@ -513,30 +941,48 @@ class ExecutionPlan:
             hook(lo, hi)
         if lo >= hi:
             return
+        r0 = int(self.seg_rows[lo])
+        r1 = int(self.seg_rows[hi - 1]) + 1
+        indptr = self._csr_indptr()
+        if indptr is not None:
+            # Compact fast path: scipy's compiled CSR matvec consumes
+            # the int32 arrays in place and accumulates each row
+            # sequentially — the exact order of the portable kernel.
+            _csr_kernels.csr_matvec(
+                r1 - r0, self.shape[1], indptr[r0:], self.cols,
+                self.vals, x, out[r0:r1],
+            )
+            return
         s0 = int(self.seg_starts[lo])
         s1 = (
             int(self.seg_starts[hi])
             if hi < self.n_segments
             else self.n_slots
         )
-        gathered = np.take(x, self.cols[s0:s1])
+        gathered = np.take(x, self._cols_intp()[s0:s1])
         gathered *= self.vals[s0:s1]
-        out[self.seg_rows[lo:hi]] = np.add.reduceat(
-            gathered, self.seg_starts[lo:hi] - s0
+        seg = self._slot_rows()[s0:s1]
+        if r0:
+            seg = seg - r0
+        out[r0:r1] = np.bincount(
+            seg, weights=gathered, minlength=r1 - r0
         )
 
     def spmm(self, x_block: np.ndarray,
-             y_block: Optional[np.ndarray] = None, jobs: int = 1,
+             y_block: Optional[np.ndarray] = None,
+             jobs: Optional[int] = None,
              block_size: Optional[int] = None) -> np.ndarray:
         """Execute ``Y = A @ X + Y`` reusing the plan across vectors.
 
-        Vectors are processed in blocks (one gather per block bounds
-        the scratch memory at roughly ``SPMM_BLOCK_ELEMS`` float64
-        elements); within each block the segment reduction is sharded
-        exactly like :meth:`spmv`, so the result is independent of
-        ``jobs``.
+        Vectors are processed in blocks (bounding scratch memory at
+        roughly ``SPMM_BLOCK_ELEMS`` float64 elements); within each
+        block the segment reduction is sharded exactly like
+        :meth:`spmv`, and every column accumulates in the same order as
+        a standalone :meth:`spmv` of that vector, so the result is
+        independent of ``jobs`` and bitwise column-equal to the
+        unbatched engine.
         """
-        x_block = np.asarray(x_block, dtype=np.float64)
+        x_block = np.ascontiguousarray(x_block, dtype=np.float64)
         if x_block.ndim != 2 or x_block.shape[0] != self.shape[1]:
             raise ValueError(
                 f"X of shape {x_block.shape} incompatible with "
@@ -549,19 +995,19 @@ class ExecutionPlan:
                 1, SPMM_BLOCK_ELEMS // max(self.n_slots, 1)
             )
         block_size = max(1, min(int(block_size), max(n_vectors, 1)))
-        shards = self.shard_bounds(jobs)
+        jobs_eff = self._auto_jobs() if jobs is None else int(jobs)
+        shards = self.shard_bounds(jobs_eff)
         for j0 in range(0, n_vectors, block_size):
             j1 = min(j0 + block_size, n_vectors)
-            # One gather per vector block: the A-stream amortization.
-            gathered = x_block[self.cols, j0:j1]
-            gathered *= self.vals[:, None]
+            xb = np.ascontiguousarray(x_block[:, j0:j1])
             if len(shards) == 1:
-                self._reduce_block(out, gathered, j0, j1, 0,
+                self._reduce_block(out, xb, j0, j1, 0,
                                    self.n_segments)
             else:
+                pool = _pool()
                 _join_shards([
-                    _pool(len(shards)).submit(
-                        self._reduce_block, out, gathered, j0, j1, lo, hi
+                    pool.submit(
+                        self._reduce_block, out, xb, j0, j1, lo, hi
                     )
                     for lo, hi in shards
                 ])
@@ -575,13 +1021,30 @@ class ExecutionPlan:
             out += y_block
         return out
 
-    def _reduce_block(self, out: np.ndarray, gathered: np.ndarray,
+    def _reduce_block(self, out: np.ndarray, xb: np.ndarray,
                       j0: int, j1: int, lo: int, hi: int) -> None:
-        """Segment-reduce one gathered vector block for shard [lo, hi)."""
+        """Gather + reduce one vector block for shard ``[lo, hi)``.
+
+        ``xb`` is the contiguous ``(ncols, j1 - j0)`` slice of the
+        input block; gathering happens inside the shard so the compact
+        fast path can stream the plan arrays directly.
+        """
         hook = _SHARD_HOOK
         if hook is not None:
             hook(lo, hi)
         if lo >= hi:
+            return
+        nb = j1 - j0
+        r0 = int(self.seg_rows[lo])
+        r1 = int(self.seg_rows[hi - 1]) + 1
+        indptr = self._csr_indptr()
+        if indptr is not None:
+            block = np.zeros((r1 - r0, nb), dtype=np.float64)
+            _csr_kernels.csr_matvecs(
+                r1 - r0, self.shape[1], nb, indptr[r0:], self.cols,
+                self.vals, xb.reshape(-1), block.reshape(-1),
+            )
+            out[r0:r1, j0:j1] = block
             return
         s0 = int(self.seg_starts[lo])
         s1 = (
@@ -589,6 +1052,36 @@ class ExecutionPlan:
             if hi < self.n_segments
             else self.n_slots
         )
-        out[self.seg_rows[lo:hi], j0:j1] = np.add.reduceat(
-            gathered[s0:s1], self.seg_starts[lo:hi] - s0, axis=0
-        )
+        gathered = xb[self._cols_intp()[s0:s1]]
+        gathered *= self.vals[s0:s1, None]
+        seg = self._slot_rows()[s0:s1]
+        if r0:
+            seg = seg - r0
+        block = np.empty((r1 - r0, nb), dtype=np.float64)
+        for j in range(nb):
+            block[:, j] = np.bincount(
+                seg, weights=gathered[:, j], minlength=r1 - r0
+            )
+        out[r0:r1, j0:j1] = block
+
+    def spmv_batch(self, xs: np.ndarray,
+                   jobs: Optional[int] = None,
+                   block_size: Optional[int] = None) -> np.ndarray:
+        """Batched SpMV: ``(n_queries, ncols)`` → ``(n_queries, nrows)``.
+
+        Coalesces the queries into the blocked SpMM kernel so the plan
+        arrays are streamed once per vector block instead of once per
+        query; row ``i`` of the result is bitwise identical to
+        ``spmv(xs[i])``.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 2 or xs.shape[1] != self.shape[1]:
+            raise ValueError(
+                f"query batch of shape {xs.shape} incompatible with "
+                f"{self.shape}"
+            )
+        if xs.shape[0] == 0:
+            return np.zeros((0, self.shape[0]), dtype=np.float64)
+        yt = self.spmm(np.ascontiguousarray(xs.T), jobs=jobs,
+                       block_size=block_size)
+        return np.ascontiguousarray(yt.T)

@@ -41,7 +41,7 @@ from repro.hw.perf_model import (
     assign_tiles,
 )
 from repro.hw.power import platform_power, energy_efficiency
-from repro.hw.fast_sim import fast_run
+from repro.hw.fast_sim import fast_run, fast_run_batch
 from repro.hw.hazards import (
     count_stall_cycles,
     hazard_aware_reorder,
@@ -81,6 +81,7 @@ __all__ = [
     "platform_power",
     "energy_efficiency",
     "fast_run",
+    "fast_run_batch",
     "count_stall_cycles",
     "hazard_aware_reorder",
     "hazard_report",

@@ -70,7 +70,8 @@ class SpasmAccelerator:
     def run(self, spasm: SpasmMatrix, x: np.ndarray,
             y: Optional[np.ndarray] = None,
             engine: str = "event", verify: bool = False,
-            jobs: int = 1, guard: Optional[Any] = None) -> SimResult:
+            jobs: Optional[int] = None,
+            guard: Optional[Any] = None) -> SimResult:
         """Simulate ``y = A @ x + y`` for a SPASM-encoded matrix.
 
         ``engine="event"`` walks every group through the opcode-decoded
@@ -177,7 +178,7 @@ class SpasmAccelerator:
 
     def run_spmm(self, spasm: SpasmMatrix, x_block: np.ndarray,
                  y_block: Optional[np.ndarray] = None,
-                 verify: bool = False, jobs: int = 1,
+                 verify: bool = False, jobs: Optional[int] = None,
                  guard: Optional[Any] = None) -> SimResult:
         """Simulate a multi-vector run ``Y = A @ X + Y`` (extension).
 
@@ -229,3 +230,22 @@ class SpasmAccelerator:
             pe_groups_executed=pe_groups,
             bottleneck=breakdown.bottleneck,
         )
+
+    def run_batch(self, spasm: SpasmMatrix, xs: np.ndarray,
+                  verify: bool = False, jobs: Optional[int] = None,
+                  guard: Optional[Any] = None) -> SimResult:
+        """Simulate a batch of independent queries, one per row of
+        ``xs``.
+
+        Numeric output comes from the plan's blocked SpMM engine
+        (bitwise equal to ``n_queries`` :meth:`run` calls with
+        ``engine="fast"``); cycles and HBM traffic amortize the A
+        stream over the batch as in :meth:`run_spmm`.  The result's
+        ``y`` is the ``(n_queries, nrows)`` output block.
+        """
+        if verify:
+            self._verify(spasm)
+        from repro.hw.fast_sim import fast_run_batch
+
+        return fast_run_batch(spasm, self.config, xs, jobs=jobs,
+                              guard=guard)

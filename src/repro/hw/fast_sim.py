@@ -26,7 +26,8 @@ from repro.hw.perf_model import assign_tiles, perf_breakdown
 
 
 def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
-             y: Optional[np.ndarray] = None, jobs: int = 1,
+             y: Optional[np.ndarray] = None,
+             jobs: Optional[int] = None,
              guard: Optional[Any] = None):
     """Vectorized equivalent of :meth:`SpasmAccelerator.run`.
 
@@ -86,6 +87,69 @@ def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
         time_s=time_s,
         gflops=flops / time_s / 1e9 if time_s else 0.0,
         hbm_bytes=hbm_bytes,
+        pe_groups_executed=pe_groups,
+        bottleneck=breakdown.bottleneck,
+    )
+
+
+def fast_run_batch(spasm: SpasmMatrix, config: HwConfig,
+                   xs: np.ndarray, jobs: Optional[int] = None,
+                   guard: Optional[Any] = None):
+    """Vectorized batched simulation: one query per row of ``xs``.
+
+    The numeric result runs through the plan's blocked SpMM engine
+    (:meth:`~repro.exec.plan.ExecutionPlan.spmv_batch`), bitwise equal
+    to ``n_queries`` independent :func:`fast_run` calls; with
+    ``guard`` it goes through
+    :meth:`~repro.resilience.guard.ExecutionGuard.spmv_batch` instead.
+    Cycle and HBM accounting amortize the A-stream read over the batch
+    the way :meth:`SpasmAccelerator.run_spmm` does — the returned
+    :class:`~repro.hw.accelerator.SimResult` carries the
+    ``(n_queries, nrows)`` output block as ``y``.
+    """
+    from repro.hw.accelerator import SimResult
+    from repro.hw.perf_model import perf_breakdown_spmm
+
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.ndim != 2 or xs.shape[1] != spasm.shape[1]:
+        raise ValueError(
+            f"xs of shape {xs.shape} incompatible with {spasm.shape};"
+            f" expected (n_queries, {spasm.shape[1]})"
+        )
+    if guard is not None:
+        if guard.spasm is not spasm:
+            raise ValueError(
+                "guard was built for a different matrix instance"
+            )
+        ys = guard.spmv_batch(xs, jobs=jobs)
+    else:
+        ys = spasm.spmv_batch(xs, jobs=jobs)
+
+    n_queries = int(xs.shape[0])
+    groups_per_tile = spasm.groups_per_tile()
+    owner = assign_tiles(groups_per_tile, config.num_pes)
+    pe_groups = np.bincount(
+        owner, weights=groups_per_tile, minlength=config.num_pes
+    ).astype(np.int64) * max(n_queries, 1)
+
+    breakdown = perf_breakdown_spmm(
+        spasm.global_composition(), config, max(n_queries, 1),
+        spasm.tile_size,
+    )
+    cycles = breakdown.total_cycles
+    time_s = cycles / config.frequency_hz
+    flops = (2 * spasm.source_nnz + spasm.shape[0]) * n_queries
+    a_bytes = spasm.n_groups * (spasm.k + 1) * 4
+    xy_bytes = (
+        spasm.n_tiles * spasm.tile_size * 4
+        + spasm.shape[0] * 8
+    ) * n_queries
+    return SimResult(
+        y=ys,
+        cycles=cycles,
+        time_s=time_s,
+        gflops=flops / time_s / 1e9 if time_s else 0.0,
+        hbm_bytes=a_bytes + xy_bytes,
         pe_groups_executed=pe_groups,
         bottleneck=breakdown.bottleneck,
     )

@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.format import encode_spasm, groups_per_submatrix
-from repro.core.decompose import DecompositionTable
+from repro.core.decompose import cached_table
 from repro.core.patterns import histogram_from_masks, submatrix_masks
 from repro.core.schedule import explore_schedule
 from repro.core.selection import select_portfolio
@@ -192,7 +192,7 @@ class SelectionPass(CompilerPass):
         if self.fixed_portfolio is not None:
             portfolio = self.fixed_portfolio
             store.put("portfolio", portfolio)
-            store.put("table", DecompositionTable(portfolio))
+            store.put("table", cached_table(portfolio))
             return f"fixed portfolio {portfolio.name} (ablation)"
         if self.strategy == "candidates":
             selection = select_portfolio(
@@ -222,7 +222,7 @@ class SelectionPass(CompilerPass):
                 histogram, candidates=self.candidates
             )
         store.put("portfolio", portfolio)
-        store.put("table", DecompositionTable(portfolio))
+        store.put("table", cached_table(portfolio))
         return f"{portfolio.name} built via {self.strategy} strategy"
 
     def to_cache(self, store: ArtifactStore):
@@ -247,7 +247,7 @@ class SelectionPass(CompilerPass):
             portfolio = portfolio_from_state(state)
         except (KeyError, ValueError, TypeError):
             return False
-        table = DecompositionTable(portfolio)
+        table = cached_table(portfolio)
         store.put("portfolio", portfolio)
         store.put("table", table)
         sel_meta = entry.meta.get("selection")
@@ -475,6 +475,13 @@ class EncodePass(CompilerPass):
     Not cacheable: persistence of the encoded artifact is the job of
     :mod:`repro.core.serialize` (``save_spasm``/``load_spasm``), and the
     hazard-aware reorder must see the freshly encoded stream.
+
+    With ``fuse_plan=True`` the encoder also finalizes the execution
+    plan directly from its own intermediates (no second expansion of
+    the stream) and attaches it to the matrix, so a following
+    :class:`PlanPass` — or the first ``spasm.spmv`` — is free.  Fusion
+    is skipped under the hazard-aware reorder, which rewrites the
+    stream after encoding and would invalidate the attached plan.
     """
 
     name = "encode"
@@ -483,13 +490,22 @@ class EncodePass(CompilerPass):
     )
     provides = ("spasm",)
 
-    def __init__(self, hazard_aware: bool = False):
+    def __init__(self, hazard_aware: bool = False,
+                 fuse_plan: bool = False,
+                 plan_precision: Optional[str] = None):
         self.hazard_aware = hazard_aware
+        self.fuse_plan = fuse_plan
+        self.plan_precision = plan_precision
 
     def config_fingerprint(self) -> str:
-        return fingerprint({"hazard_aware": self.hazard_aware})
+        return fingerprint({
+            "hazard_aware": self.hazard_aware,
+            "fuse_plan": self.fuse_plan,
+            "plan_precision": self.plan_precision,
+        })
 
     def run(self, store: ArtifactStore) -> str:
+        fused = self.fuse_plan and not self.hazard_aware
         spasm = encode_spasm(
             store.require("coo"),
             store.require("portfolio"),
@@ -497,6 +513,8 @@ class EncodePass(CompilerPass):
             store.require("table"),
             masks=store.require("masks"),
             sub_keys=store.require("sub_keys"),
+            build_plan=fused,
+            plan_precision=self.plan_precision,
         )
         note = ""
         if self.hazard_aware:
@@ -504,6 +522,10 @@ class EncodePass(CompilerPass):
 
             spasm = hazard_aware_reorder(spasm)
             note = ", hazard-aware reorder applied"
+        elif fused:
+            plan = spasm.__dict__.get("_plan")
+            if plan is not None:
+                note = f", fused plan in {plan.build_ms:.1f} ms"
         store.put("spasm", spasm)
         return (
             f"{spasm.n_groups} groups, padding rate "
@@ -530,6 +552,8 @@ class PlanPass(CompilerPass):
 
     def run(self, store: ArtifactStore) -> str:
         spasm = store.require("spasm")
+        # Reuses the plan the fused EncodePass attached (digest-checked
+        # inside SpasmMatrix.plan), compiling only when absent.
         plan = spasm.plan()
         store.put("plan", plan)
         return plan.describe()
@@ -559,10 +583,13 @@ class PlanPass(CompilerPass):
         spasm = store.require("spasm")
         digest = stream_digest(spasm)
         try:
-            cols = entry.arrays["cols"].astype(np.int64)
-            vals = entry.arrays["vals"].astype(np.float64)
-            seg_starts = entry.arrays["seg_starts"].astype(np.int64)
-            seg_rows = entry.arrays["seg_rows"].astype(np.int64)
+            # Adopted as stored: a compact int32/float32 plan must come
+            # back copy-free in its own dtypes (validate() rejects any
+            # layout the kernels cannot dispatch).
+            cols = entry.arrays["cols"]
+            vals = entry.arrays["vals"]
+            seg_starts = entry.arrays["seg_starts"]
+            seg_rows = entry.arrays["seg_rows"]
             meta_digest = str(entry.meta["digest"])
             shape = (int(entry.meta["nrows"]), int(entry.meta["ncols"]))
             source_nnz = int(entry.meta["source_nnz"])
@@ -580,7 +607,7 @@ class PlanPass(CompilerPass):
             vals=vals,
             seg_starts=seg_starts,
             seg_rows=seg_rows,
-            digest=digest,
+            _digest=digest,
             source_nnz=source_nnz,
             checksum=checksum,
         )

@@ -128,21 +128,29 @@ class FaultInjector:
     # -- plan faults ---------------------------------------------------
 
     def flip_plan_array(self, plan: Any) -> FaultRecord:
-        """Flip one bit in one of the plan's executable arrays."""
+        """Flip one bit in one of the plan's executable arrays.
+
+        Itemsize-aware: the array is viewed as raw bytes, so every bit
+        of a compact v2 layout (int32 indices, float32 values) is as
+        reachable as an int64/float64 word — no dtype is excluded from
+        the fault surface.
+        """
         candidates = [
             name for name in ("cols", "vals", "seg_starts", "seg_rows")
             if getattr(plan, name).size
         ]
         name = candidates[int(self.rng.integers(0, len(candidates)))]
         arr = getattr(plan, name)
-        flat = arr.reshape(-1).view(np.uint64)  # int64/float64 alike
-        idx = int(self.rng.integers(0, flat.size))
-        bit = int(self.rng.integers(0, 64))
-        flat[idx] ^= np.uint64(1) << np.uint64(bit)
+        flat = arr.reshape(-1).view(np.uint8)
+        byte = int(self.rng.integers(0, flat.size))
+        bit = int(self.rng.integers(0, 8))
+        flat[byte] ^= np.uint8(1 << bit)
         return FaultRecord(
             surface="plan", mode="bitflip",
-            location=f"{name}[{idx}] bit {bit}",
-            details={"array": name, "index": idx, "bit": bit},
+            location=f"{name} byte {byte} bit {bit} "
+                     f"({arr.dtype.name})",
+            details={"array": name, "byte": byte, "bit": bit,
+                     "dtype": arr.dtype.name},
         )
 
     # -- cache faults --------------------------------------------------

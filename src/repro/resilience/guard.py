@@ -305,7 +305,7 @@ class ExecutionGuard:
         return plan
 
     def _checked_output(self, plan: Any, x: np.ndarray,
-                        jobs: int, attempt: int,
+                        jobs: Optional[int], attempt: int,
                         ) -> Optional[np.ndarray]:
         """Run the plan and cross-check sampled rows; ``None`` on a
         divergence (the plan is dropped for rebuild)."""
@@ -344,7 +344,7 @@ class ExecutionGuard:
     # -- public API ----------------------------------------------------
 
     def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
-             jobs: int = 1) -> np.ndarray:
+             jobs: Optional[int] = None) -> np.ndarray:
         """Guarded ``y = A @ x + y``.
 
         Semantics match :meth:`ExecutionPlan.spmv` exactly on the
@@ -410,7 +410,7 @@ class ExecutionGuard:
 
     def spmm(self, x_block: np.ndarray,
              y_block: Optional[np.ndarray] = None,
-             jobs: int = 1) -> np.ndarray:
+             jobs: Optional[int] = None) -> np.ndarray:
         """Guarded multi-vector execution (validation + fallback).
 
         The per-row divergence oracle applies to SpMV only; SpMM gets
@@ -446,9 +446,99 @@ class ExecutionGuard:
         ))
         return self.spasm.spmm_naive(x_block, y_block)
 
+    def spmv_batch(self, xs: np.ndarray,
+                   jobs: Optional[int] = None) -> np.ndarray:
+        """Guarded batched SpMV: one ``(n_queries, ncols)`` row per query.
+
+        Executes through :meth:`ExecutionPlan.spmv_batch` (blocked
+        SpMM), so the clean path is bitwise-identical to stacking
+        guarded :meth:`spmv` calls.  The sampled divergence oracle
+        cross-checks the first query of the batch when due; recovery
+        follows the same rebuild/retry/fallback ladder as
+        :meth:`spmv`.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 2 or xs.shape[1] != self.spasm.shape[1]:
+            raise ValueError(
+                f"xs of shape {xs.shape} incompatible with "
+                f"{self.spasm.shape}; expected (n_queries, "
+                f"{self.spasm.shape[1]})"
+            )
+        self._calls += 1
+        backoff = self.config.backoff_s
+        for attempt in range(1, self.config.max_attempts + 1):
+            if attempt > 1:
+                self.log.record(ResilienceEvent(
+                    kind="rebuild", surface="plan", action="retry",
+                    attempt=attempt,
+                    detail="recompiling the plan from the stream",
+                ))
+                if backoff:
+                    time.sleep(backoff)
+                    backoff *= 2
+            plan = self._acquire(attempt)
+            if plan is None:
+                continue
+            try:
+                out = plan.spmv_batch(xs, jobs=jobs)
+            except IntegrityError:
+                raise
+            except ValueError:
+                raise  # caller error (shape), not a fault
+            except Exception as exc:
+                self.log.record(ResilienceEvent(
+                    kind="detect", surface="worker", action="retry",
+                    attempt=attempt,
+                    detail=f"{type(exc).__name__}: {exc}",
+                ))
+                self._invalidate()
+                continue
+            if xs.shape[0] and self._due(self.config.check_interval):
+                if self._oracle is None:
+                    self._oracle = RowOracle.build(
+                        self.spasm, self._oracle_rows()
+                    )
+                bad = self._oracle.mismatches(xs[0], out[0])
+                if bad:
+                    self.log.record(ResilienceEvent(
+                        kind="detect", surface="output",
+                        action="rebuild", attempt=attempt,
+                        detail=(
+                            f"sampled rows {bad} of batch query 0 "
+                            "diverge from the naive oracle"
+                        ),
+                    ))
+                    self._invalidate()
+                    continue
+            return out
+        if not self.config.fallback:
+            self.log.record(ResilienceEvent(
+                kind="detect", surface="plan", action="raise",
+                detail="plan engine exhausted attempts, fallback "
+                       "disabled",
+            ))
+            raise IntegrityError(
+                "plan engine failed every attempt and fallback is "
+                "disabled",
+                events=self.log.events,
+            )
+        self.log.record(ResilienceEvent(
+            kind="fallback", surface="plan", action="fallback",
+            detail=(
+                f"plan engine failed {self.config.max_attempts} "
+                "attempts; executing the batch through spmv_naive"
+            ),
+        ))
+        if xs.shape[0] == 0:
+            return np.zeros((0, self.spasm.shape[0]), dtype=np.float64)
+        return np.stack(
+            [self.spasm.spmv_naive(x) for x in xs]
+        )
+
 
 def guarded_spmv(spasm: Any, x: np.ndarray,
-                 y: Optional[np.ndarray] = None, jobs: int = 1,
+                 y: Optional[np.ndarray] = None,
+                 jobs: Optional[int] = None,
                  config: Optional[GuardConfig] = None,
                  cache: Any = None,
                  log: Optional[ResilienceLog] = None) -> np.ndarray:

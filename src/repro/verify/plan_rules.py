@@ -1,22 +1,24 @@
 """Execution-plan rules (the compiled step-⑥ fast-path artifact).
 
 A compiled :class:`~repro.exec.plan.ExecutionPlan` is dispatched with
-no per-slot checks at all — the gather and ``reduceat`` kernels trust
-the plan arrays completely.  These rules make that trust checkable:
-the structural invariants every dispatch relies on (``plan.integrity``,
-delegating to :meth:`ExecutionPlan.validate` so the guard and the
-verifier agree by construction, checksum included) and, when the
-source stream is in the context, that the plan actually belongs to it
-(``plan.digest``).  The resilience layer
-(:mod:`repro.resilience.guard`) runs the same checks before dispatch;
-see ``docs/RESILIENCE.md``.
+no per-slot checks at all — the gather and segmented-accumulation
+kernels trust the plan arrays completely.  These rules make that trust
+checkable: the structural and dtype-policy invariants every dispatch
+relies on (``plan.integrity``, delegating to
+:meth:`ExecutionPlan.validate` so the guard and the verifier agree by
+construction, checksum included), when the source stream is in the
+context, that the plan actually belongs to it (``plan.digest``), and
+that a plan does not waste bandwidth on wide indices where the compact
+int32 layout suffices (``plan.layout``, advisory).  The resilience
+layer (:mod:`repro.resilience.guard`) runs the same checks before
+dispatch; see ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-from repro.verify.diagnostics import Diagnostic
+from repro.verify.diagnostics import WARNING, Diagnostic
 from repro.verify.rules import (
     KIND_PLAN,
     Rule,
@@ -58,6 +60,36 @@ class PlanDigest(Rule):
                 "execute (stale plan or corrupted stream)",
                 plan_digest=ctx.plan.digest,
                 stream_digest=expected,
+            )
+
+
+@register
+class PlanLayout(Rule):
+    rule_id = "plan.layout"
+    kinds = (KIND_PLAN,)
+    severity = WARNING
+    title = ("the plan uses the compact int32 index layout whenever "
+             "shape and slot count permit it")
+    paper = "software step ⑥ (compact plan layouts)"
+    requires = ("plan",)
+
+    def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
+        import numpy as np
+
+        from repro.exec.plan import index_dtype_for
+
+        plan = ctx.plan
+        compact = index_dtype_for(plan.shape, plan.n_slots)
+        if (compact == np.int32
+                and plan.cols.dtype != np.int32):
+            yield self.diag(
+                f"plan stores {plan.cols.dtype.name} indices but the "
+                f"matrix ({plan.shape[0]}x{plan.shape[1]}, "
+                f"{plan.n_slots} slots) fits the compact int32 "
+                "layout — rebuild to halve index bandwidth",
+                index_dtype=plan.cols.dtype.name,
+                compact_dtype="int32",
+                n_slots=plan.n_slots,
             )
 
 

@@ -296,12 +296,13 @@ _FLIP_ARRAYS = ("cols", "vals", "seg_starts", "seg_rows")
 @given(
     which=st.integers(0, len(_FLIP_ARRAYS) - 1),
     pos=st.integers(0, 2**30),
-    bit=st.integers(0, 63),
+    bit=st.integers(0, 7),
 )
 def test_any_plan_bit_flip_is_caught(which, pos, bit):
     """Every single-bit corruption of every executable plan array is
     flagged — by validate() (checksum + invariants) and by the
-    plan.integrity verifier rule the guard and CLI share."""
+    plan.integrity verifier rule the guard and CLI share.  The flip is
+    byte-addressed so compact int32 arrays are covered bit for bit."""
     import dataclasses
 
     from repro.verify import verify_plan
@@ -314,9 +315,9 @@ def test_any_plan_bit_flip_is_caught(which, pos, bit):
         seg_starts=_FLIP_PLAN.seg_starts.copy(),
         seg_rows=_FLIP_PLAN.seg_rows.copy(),
     )
-    arr = getattr(mutated, name).reshape(-1).view(np.uint64)
+    arr = getattr(mutated, name).reshape(-1).view(np.uint8)
     idx = pos % arr.size
-    arr[idx] ^= np.uint64(1) << np.uint64(bit)
+    arr[idx] ^= np.uint8(1 << bit)
     problems = mutated.validate()
     assert problems, (
         f"flip of bit {bit} in {name}[{idx}] went undetected"
