@@ -1,6 +1,6 @@
 # Convenience targets for the SPASM reproduction.
 
-.PHONY: install test lint verify bench bench-smoke faults-smoke reproduce examples clean
+.PHONY: install test lint analyze verify bench bench-smoke faults-smoke reproduce examples clean
 
 install:
 	pip install -e .
@@ -11,7 +11,18 @@ test:
 lint:
 	ruff check src tests examples
 	mypy src/repro/verify src/repro/pipeline src/repro/exec \
-	    src/repro/core/encoding.py
+	    src/repro/analyze src/repro/core/encoding.py
+
+# Static analysis gate: prove the five plan safety obligations over the
+# whole synth suite (exit 1 on any refuted proof; JSON archived as a CI
+# artifact) and run the AST determinism/safety self-lint against the
+# checked-in baseline (exit 1 on any new finding).
+analyze:
+	python -m repro analyze --scale 0.2 --json > BENCH_analyze.json
+	python -c "import json; r = json.load(open('BENCH_analyze.json')); \
+	    print('%d matrices, %d refuted obligations' % \
+	    (r['matrices'], r['refuted']))"
+	python -m repro analyze --self
 
 verify:
 	python -m repro verify tmt_sym --scale 0.1

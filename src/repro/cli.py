@@ -4,6 +4,8 @@
 
     python -m repro suite                     # list the Table II workloads
     python -m repro analyze tmt_sym           # pattern histogram + spy plot
+    python -m repro analyze --scale 0.2       # symbolic plan proofs, suite
+    python -m repro analyze --self            # codebase determinism lint
     python -m repro compile matrix.mtx        # full SPASM pipeline report
     python -m repro storage c-73              # Figure 11 format comparison
     python -m repro compare raefsky3          # throughput vs baselines
@@ -61,6 +63,23 @@ def cmd_suite(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    """Pattern analysis, symbolic plan proofs, or the self-lint.
+
+    Three modes share the subcommand:
+
+    * ``analyze MATRIX`` — the classic local-pattern histogram report.
+    * ``analyze [MATRIX] --proofs`` (or no matrix at all) — compile
+      the matrix (default: every synth-suite workload) and prove the
+      five plan safety obligations symbolically; any refuted
+      obligation exits 1.
+    * ``analyze --self`` — run the AST determinism/safety lint over
+      ``src/repro`` against the checked-in baseline; any *new*
+      finding exits 1.
+    """
+    if args.self_lint:
+        return _analyze_self(args)
+    if args.matrix is None or args.proofs:
+        return _analyze_proofs(args)
     coo = load_matrix(args.matrix, args.scale)
     print(f"{args.matrix}: shape={coo.shape}, nnz={coo.nnz}, "
           f"density={coo.density:.3e}")
@@ -70,6 +89,83 @@ def cmd_analyze(args) -> int:
     print()
     print(top_pattern_report(args.matrix, histogram, n=args.top))
     return 0
+
+
+def _analyze_proofs(args) -> int:
+    """Prove the five plan obligations over one or all workloads."""
+    import json
+
+    from repro.analyze import analyze_program
+    from repro.analyze.symbolic import analysis_reports_to_json
+
+    names = (
+        [args.matrix] if args.matrix is not None else workload_names()
+    )
+    compiler = SpasmCompiler(
+        cache_dir=getattr(args, "cache_dir", None),
+        jobs=max(1, getattr(args, "jobs", 1)),
+        build_plan=True,
+    )
+    reports = []
+    for name in names:
+        coo = load_matrix(name, args.scale)
+        program = compiler.compile(coo)
+        report = analyze_program(program, matrix=name)
+        reports.append(report)
+        if not args.json:
+            print(report.render())
+            print()
+    payload = analysis_reports_to_json(reports)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        refuted = payload["refuted"]
+        verdict = (
+            "all proof obligations hold" if payload["ok"]
+            else f"{refuted} obligation(s) REFUTED"
+        )
+        print(f"{len(reports)} matrix(es) analyzed: {verdict}")
+    return 0 if payload["ok"] else 1
+
+
+def _analyze_self(args) -> int:
+    """Lint ``src/repro`` against the checked-in baseline."""
+    import json
+
+    from repro.analyze import (
+        diff_baseline,
+        load_baseline,
+        self_lint,
+        write_baseline,
+    )
+
+    findings = self_lint()
+    if args.write_baseline:
+        path = write_baseline(findings)
+        print(f"wrote baseline of {len(findings)} finding(s) to {path}")
+        return 0
+    baseline = load_baseline()
+    new, fixed = diff_baseline(findings, baseline)
+    if args.json:
+        print(json.dumps({
+            "ok": not new,
+            "findings": len(findings),
+            "baselined": len(findings) - len(new),
+            "new": [f.as_dict() for f in new],
+            "fixed_baseline_keys": fixed,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        if fixed:
+            print(f"note: {len(fixed)} baseline finding(s) no longer "
+                  "present — shrink the baseline "
+                  "(analyze --self --write-baseline):")
+            for key in fixed:
+                print(f"  {key}")
+        print(f"self-lint: {len(findings)} finding(s), "
+              f"{len(findings) - len(new)} baselined, {len(new)} new")
+    return 1 if new else 0
 
 
 def make_compiler(args) -> SpasmCompiler:
@@ -247,6 +343,13 @@ def cmd_run(args) -> int:
     import numpy as np
 
     coo = load_matrix(args.matrix, args.scale)
+    reorder = None
+    if args.reorder:
+        from repro.core.reorder import best_reordering, reorder_gain
+
+        reorder = best_reordering(coo)
+        gain = reorder_gain(coo, reorder)
+        coo = reorder.matrix
     compiler = make_compiler(args)
     program = compiler.compile(coo)
     spasm = program.spasm
@@ -335,6 +438,11 @@ def cmd_run(args) -> int:
     print(f"matrix:   {args.matrix} shape={spasm.shape} "
           f"nnz={spasm.source_nnz}")
     print(f"engine:   {args.engine} (jobs={jobs_note})")
+    if reorder is not None:
+        print(f"reorder:  {gain['before_bytes_per_nnz']:.2f} -> "
+              f"{gain['after_bytes_per_nnz']:.2f} bytes/nnz "
+              f"({gain['gain']:.2f}x storage gain; outputs are in "
+              "the reordered index space)")
     if args.engine in ("plan", "guarded"):
         print(f"plan:     {plan.describe()} "
               f"(built in {plan.build_ms:.1f} ms)")
@@ -540,13 +648,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "selects the plan's nnz auto-heuristic")
         return p
 
-    analyze = add_matrix_command("analyze", "local pattern analysis")
+    analyze = sub.add_parser(
+        "analyze",
+        help="local pattern analysis, symbolic plan safety proofs, "
+             "or the codebase self-lint",
+    )
+    analyze.add_argument(
+        "matrix", nargs="?", default=None,
+        help=f"workload name ({', '.join(workload_names()[:3])}, ...)"
+             " or a .mtx file path; omit to prove the whole synth "
+             "suite",
+    )
+    analyze.add_argument("--scale", type=float, default=1.0,
+                         help="synthetic workload scale factor")
     analyze.add_argument("--top", type=int, default=8,
                          help="patterns to display")
     analyze.add_argument("--pattern-size", type=int, default=4,
                          help="local pattern size k")
     analyze.add_argument("--no-spy", action="store_true",
                          help="skip the spy plot")
+    analyze.add_argument("--proofs", action="store_true",
+                         help="prove the five plan safety obligations "
+                              "(index width, coverage, shards, image, "
+                              "policy) symbolically instead of the "
+                              "pattern report; a refuted obligation "
+                              "exits 1")
+    analyze.add_argument("--self", dest="self_lint",
+                         action="store_true",
+                         help="run the AST determinism/safety lint "
+                              "over src/repro against the checked-in "
+                              "baseline; a new finding exits 1")
+    analyze.add_argument("--write-baseline", action="store_true",
+                         help="with --self: rewrite the baseline to "
+                              "the current findings")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the proof or lint report as JSON")
+    add_pipeline_flags(analyze)
 
     compile_p = add_matrix_command(
         "compile", "run the full SPASM pipeline"
@@ -602,6 +739,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "layout, checked to tolerance")
     run.add_argument("--seed", type=int, default=0,
                      help="seed for the random x vector")
+    run.add_argument("--reorder", action="store_true",
+                     help="apply the best structural reordering "
+                          "(identity / block-signature / degree sort) "
+                          "before compiling and report the storage "
+                          "gain")
     run.add_argument("--trace", default=None, metavar="FILE",
                      help="write the per-stage pipeline trace to FILE "
                           "as JSON")

@@ -33,6 +33,7 @@ from repro.pipeline.artifacts import ArtifactStore
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.passes import (
     AnalysisPass,
+    AnalyzePass,
     CompilerPass,
     DecompositionPass,
     EncodePass,
@@ -198,6 +199,13 @@ class SpasmCompiler:
         compile also builds (and, with ``cache_dir``, persists) the
         numeric :class:`~repro.exec.plan.ExecutionPlan`, available as
         :attr:`SpasmProgram.plan`.
+    analyze:
+        Append the :class:`~repro.pipeline.passes.AnalyzePass`: each
+        compile symbolically proves the five plan safety obligations
+        (:mod:`repro.analyze`) and raises
+        :class:`~repro.core.format.FormatError` on any refutation.
+        Implies plan construction; with ``cache_dir`` the proof is
+        content-addressed alongside the plan it certifies.
     """
 
     PORTFOLIO_STRATEGIES = ("candidates", "greedy", "combined")
@@ -208,7 +216,7 @@ class SpasmCompiler:
                  portfolio_strategy: str = "candidates",
                  hazard_aware: bool = False, jobs: int = 1,
                  cache_dir=None, verify: bool = False,
-                 build_plan: bool = False):
+                 build_plan: bool = False, analyze: bool = False):
         self.k = k
         if portfolio_strategy not in self.PORTFOLIO_STRATEGIES:
             raise ValueError(
@@ -222,7 +230,9 @@ class SpasmCompiler:
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.verify = verify
-        self.build_plan = build_plan
+        self.analyze = analyze
+        # Proofs are over the compiled plan: analyzing implies building.
+        self.build_plan = build_plan or analyze
         self.candidates = (
             list(candidates) if candidates is not None
             else candidate_portfolios(k)
@@ -279,6 +289,8 @@ class SpasmCompiler:
             passes.append(VerifyPass())
         if self.build_plan:
             passes.append(PlanPass())
+        if self.analyze:
+            passes.append(AnalyzePass())
         return passes
 
     def compile(self, coo: COOMatrix,

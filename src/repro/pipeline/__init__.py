@@ -31,10 +31,12 @@ from repro.pipeline.cache import (
 )
 from repro.pipeline.passes import (
     AnalysisPass,
+    AnalyzePass,
     CompilerPass,
     DecompositionPass,
     EncodePass,
     PipelineError,
+    PlanPass,
     SchedulePass,
     SelectionPass,
     VerifyPass,
@@ -57,10 +59,12 @@ __all__ = [
     "matrix_digest",
     "fingerprint",
     "AnalysisPass",
+    "AnalyzePass",
     "CompilerPass",
     "DecompositionPass",
     "EncodePass",
     "PipelineError",
+    "PlanPass",
     "SchedulePass",
     "SelectionPass",
     "VerifyPass",

@@ -19,6 +19,7 @@ schedule        ④⑤      schedule, tile_size, hw_config
 encode          —       spasm
 verify          —       verify_report (opt-in)
 plan            ⑥ prep  plan (opt-in)
+analyze         —       analyze_report (opt-in)
 ==============  ======  ==========================================
 """
 
@@ -614,6 +615,71 @@ class PlanPass(CompilerPass):
         if plan.validate():
             return False
         store.put("plan", plan)
+        return True
+
+
+class AnalyzePass(CompilerPass):
+    """Opt-in symbolic safety proofs over the compiled plan.
+
+    Mounts :mod:`repro.analyze` as a pipeline stage: the five proof
+    obligations (index-width safety, segment coverage, shard
+    race-freedom, memory-image bounds, policy consistency) are proved
+    by abstract interpretation — nothing is executed — and the
+    resulting :class:`~repro.analyze.symbolic.AnalysisReport` is stored
+    as the ``analyze_report`` artifact.  Any refuted obligation raises
+    :class:`~repro.core.format.FormatError` with the pinpointed
+    witness.  Proofs are content-addressed alongside the plan they
+    certify: a cache entry carries the plan checksum and is rejected
+    when the plan changed (or when the cached report was not clean).
+    """
+
+    name = "analyze"
+    requires = ("plan",)
+    provides = ("analyze_report",)
+    cacheable = True
+
+    def run(self, store: ArtifactStore) -> str:
+        from repro.analyze.symbolic import analyze_plan
+        from repro.core.format import FormatError
+
+        report = analyze_plan(
+            store.require("plan"), spasm=store.get("spasm")
+        )
+        if report.refuted:
+            raise FormatError(
+                "static analysis refuted "
+                f"{len(report.refuted)} proof obligation(s):\n"
+                + "\n".join(o.render() for o in report.refuted)
+            )
+        store.put("analyze_report", report)
+        return report.summary()
+
+    def to_cache(self, store: ArtifactStore):
+        report = store.require("analyze_report")
+        plan = store.require("plan")
+        return (
+            {},
+            {
+                "report": report.as_dict(),
+                "plan_checksum": plan.checksum,
+            },
+        )
+
+    def from_cache(self, store: ArtifactStore,
+                   entry: CacheEntry) -> bool:
+        from repro.analyze.symbolic import AnalysisReport
+
+        plan = store.require("plan")
+        try:
+            checksum = str(entry.meta["plan_checksum"])
+            report = AnalysisReport.from_dict(entry.meta["report"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        # A proof certifies exactly one plan; anything else recomputes
+        # (including a cached refutation, which must raise, not load).
+        if checksum != plan.checksum or not report.ok:
+            return False
+        store.put("analyze_report", report)
         return True
 
 

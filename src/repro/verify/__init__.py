@@ -27,6 +27,7 @@ from repro.verify.diagnostics import (
     VerificationError,
 )
 from repro.verify.rules import (
+    KIND_ANALYZE,
     KIND_MEMORY,
     KIND_OPCODE,
     KIND_PLAN,
@@ -39,6 +40,7 @@ from repro.verify.rules import (
 )
 from repro.verify.runner import (
     run_rules,
+    verify_analysis,
     verify_file,
     verify_memory_image,
     verify_opcode_table,
@@ -58,12 +60,14 @@ __all__ = [
     "KIND_OPCODE",
     "KIND_MEMORY",
     "KIND_PLAN",
+    "KIND_ANALYZE",
     "REGISTRY",
     "Rule",
     "VerifyContext",
     "all_rules",
     "rules_for",
     "run_rules",
+    "verify_analysis",
     "verify_file",
     "verify_memory_image",
     "verify_opcode_table",

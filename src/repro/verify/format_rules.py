@@ -10,7 +10,7 @@ matrix is available — exact decode round-trip equality.
 from __future__ import annotations
 
 import functools
-from typing import Iterator, Tuple
+from typing import Any, Iterator, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.verify.rules import (
 
 
 @functools.lru_cache(maxsize=16)
-def _cached_table(masks: Tuple[int, ...], k: int):
+def _cached_table(masks: Tuple[int, ...], k: int) -> Any:
     """Per-portfolio decomposition table, cached across verify calls."""
     from repro.core.decompose import DecompositionTable
 

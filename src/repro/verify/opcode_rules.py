@@ -10,7 +10,7 @@ per-row sums the template semantics demand.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.verify.rules import (
 )
 
 
-def _decoded(word: int):
+def _decoded(word: int) -> Tuple[Optional[Any], Optional[str]]:
     """Decode a word, returning (opcode, error_message)."""
     from repro.hw.opcode import OpcodeError, decode_opcode
 

@@ -76,20 +76,23 @@ class PlanLayout(Rule):
     def check(self, ctx: VerifyContext) -> Iterator[Diagnostic]:
         import numpy as np
 
-        from repro.exec.plan import index_dtype_for
+        from repro.analyze.symbolic import certify_index_width
 
         plan = ctx.plan
-        compact = index_dtype_for(plan.shape, plan.n_slots)
-        if (compact == np.int32
-                and plan.cols.dtype != np.int32):
+        cert = certify_index_width(
+            plan.shape, plan.n_slots, np.dtype(np.int32)
+        )
+        if cert.compact_sufficient and plan.cols.dtype != np.int32:
             yield self.diag(
                 f"plan stores {plan.cols.dtype.name} indices but the "
-                f"matrix ({plan.shape[0]}x{plan.shape[1]}, "
-                f"{plan.n_slots} slots) fits the compact int32 "
-                "layout — rebuild to halve index bandwidth",
+                f"analyzer certifies the compact layout: {cert.bound()}"
+                " — rebuild to halve index bandwidth",
                 index_dtype=plan.cols.dtype.name,
                 compact_dtype="int32",
                 n_slots=plan.n_slots,
+                certified_extent=cert.extent,
+                certified_capacity=cert.capacity,
+                certified_headroom=cert.headroom,
             )
 
 

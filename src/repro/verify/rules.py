@@ -34,6 +34,7 @@ KIND_SPASM = "spasm"
 KIND_OPCODE = "opcode"
 KIND_MEMORY = "memory"
 KIND_PLAN = "plan"
+KIND_ANALYZE = "analyze"
 
 #: Cap on per-rule occurrence diagnostics (each carries the full count).
 MAX_OCCURRENCES = 8

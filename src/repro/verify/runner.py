@@ -19,6 +19,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.verify.diagnostics import Diagnostic, Report
 from repro.verify.rules import (
+    KIND_ANALYZE,
     KIND_MEMORY,
     KIND_OPCODE,
     KIND_PLAN,
@@ -28,6 +29,7 @@ from repro.verify.rules import (
 )
 
 # Rule modules register themselves on import.
+from repro.verify import analyze_rules  # noqa: F401
 from repro.verify import format_rules  # noqa: F401
 from repro.verify import memory_rules  # noqa: F401
 from repro.verify import opcode_rules  # noqa: F401
@@ -131,6 +133,23 @@ def verify_plan(plan: Any, spasm: Optional[Any] = None) -> Report:
     """
     ctx = VerifyContext(plan=plan, spasm=spasm)
     return run_rules(ctx, [KIND_PLAN])
+
+
+def verify_analysis(plan: Any,
+                    spasm: Optional[Any] = None,
+                    image: Optional[Any] = None) -> Report:
+    """Run the symbolic proof obligations as verify rules.
+
+    Adapts the :mod:`repro.analyze.symbolic` abstract-interpretation
+    pass (index-width safety, segment coverage, shard race-freedom,
+    memory-image bounds, policy consistency) to the rule framework:
+    refuted obligations come back as ``analyze.*`` ERROR diagnostics
+    with pinpointed witnesses; proved obligations are silent.  For the
+    full PROVED/REFUTED obligation report with certified bounds use
+    :func:`repro.analyze.analyze_plan` directly.
+    """
+    ctx = VerifyContext(plan=plan, spasm=spasm, image=image)
+    return run_rules(ctx, [KIND_ANALYZE])
 
 
 def verify_file(path: str,

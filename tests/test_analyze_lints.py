@@ -1,0 +1,345 @@
+"""Tests for the AST determinism/safety lint (``repro.analyze.lints``).
+
+Each lint rule is exercised through :func:`lint_source` on small
+fixture modules — including the acceptance case of a deliberately
+unseeded ``np.random`` call being detected — plus the baseline
+burndown arithmetic and the repository's own self-lint staying clean
+against the checked-in baseline.
+"""
+
+import textwrap
+
+from repro.analyze import (
+    LINT_IDS,
+    LintFinding,
+    diff_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    self_lint,
+    write_baseline,
+)
+
+
+def lint(source, relpath="repro/core/fake.py"):
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def ids(findings):
+    return [f.lint_id for f in findings]
+
+
+class TestUnseededRng:
+    def test_unseeded_default_rng_detected(self):
+        findings = lint("""
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random(4)
+        """)
+        assert ids(findings) == ["det.unseeded-rng"]
+        assert "without a seed" in findings[0].message
+        assert findings[0].symbol == "sample"
+
+    def test_seeded_default_rng_clean(self):
+        assert lint("""
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed).random(4)
+        """) == []
+
+    def test_global_state_functions_always_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def noisy():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """)
+        assert ids(findings) == ["det.unseeded-rng"] * 2
+        assert "hidden global state" in findings[0].message
+
+    def test_stdlib_random_flagged_seeded_instance_ok(self):
+        findings = lint("""
+            import random
+
+            def roll():
+                private = random.Random(7)
+                entropy = random.SystemRandom()
+                return random.randint(0, 6)
+        """)
+        assert ids(findings) == ["det.unseeded-rng"]
+        assert "random.randint" in findings[0].message
+
+    def test_import_alias_resolved(self):
+        findings = lint("""
+            from numpy.random import default_rng as mk
+
+            def sample():
+                return mk()
+        """)
+        assert ids(findings) == ["det.unseeded-rng"]
+
+
+class TestKernelClock:
+    def test_clock_inside_kernel_body(self):
+        findings = lint("""
+            import time
+
+            class Plan:
+                def spmv(self, x):
+                    t0 = time.perf_counter()
+                    return x, t0
+        """)
+        assert ids(findings) == ["det.kernel-clock"]
+        assert "'spmv'" in findings[0].message
+
+    def test_clock_outside_kernel_is_fine(self):
+        assert lint("""
+            import time
+
+            def bench(step):
+                t0 = time.perf_counter()
+                step()
+                return time.perf_counter() - t0
+        """) == []
+
+
+class TestAdhocPool:
+    def test_pool_outside_helper_flagged(self):
+        findings = lint("""
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(tasks):
+                with ThreadPoolExecutor(4) as pool:
+                    return list(pool.map(str, tasks))
+        """)
+        assert ids(findings) == ["det.adhoc-pool"]
+        assert "one-pool invariant" in findings[0].message
+
+    def test_shared_helper_site_sanctioned(self):
+        assert lint("""
+            from concurrent.futures import ThreadPoolExecutor
+
+            def _pool(jobs):
+                return ThreadPoolExecutor(jobs)
+        """, relpath="repro/exec/plan.py") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        findings = lint("""
+            def risky():
+                try:
+                    return 1
+                except:
+                    return 0
+        """)
+        assert ids(findings) == ["det.bare-except"]
+
+    def test_typed_except_clean(self):
+        assert lint("""
+            def risky():
+                try:
+                    return 1
+                except (ValueError, KeyError):
+                    return 0
+        """) == []
+
+
+class TestImplicitDtype:
+    EXEC = "repro/exec/fake.py"
+
+    def test_asarray_without_dtype_in_exec(self):
+        findings = lint("""
+            import numpy as np
+
+            def ingest(x):
+                return np.asarray(x)
+        """, relpath=self.EXEC)
+        assert ids(findings) == ["exec.implicit-dtype"]
+
+    def test_dtype_kwarg_clean(self):
+        assert lint("""
+            import numpy as np
+
+            def ingest(x):
+                return np.asarray(x, dtype=np.float64)
+        """, relpath=self.EXEC) == []
+
+    def test_outside_exec_not_checked(self):
+        assert lint("""
+            import numpy as np
+
+            def ingest(x):
+                return np.asarray(x)
+        """, relpath="repro/core/fake.py") == []
+
+
+class TestRawKernel:
+    def test_sparsetools_reference_outside_plan_module(self):
+        findings = lint("""
+            from scipy.sparse import _sparsetools
+
+            def fast(args):
+                return _sparsetools.csr_matvec(*args)
+        """)
+        assert set(ids(findings)) == {"exec.raw-kernel"}
+        assert any("validate()" in f.message for f in findings)
+
+    def test_kernel_module_itself_sanctioned(self):
+        assert lint("""
+            from scipy.sparse import _sparsetools
+
+            def dispatch(args):
+                return _sparsetools.csr_matvec(*args)
+        """, relpath="repro/exec/plan.py") == []
+
+
+class TestSuppression:
+    def test_inline_allow_silences_one_rule(self):
+        findings = lint("""
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random(4)  # lint: allow(det.unseeded-rng)
+        """)
+        assert findings == []
+
+    def test_allow_all(self):
+        assert lint("""
+            def risky():
+                try:
+                    return 1
+                except:  # lint: allow(all)
+                    return 0
+        """) == []
+
+    def test_allow_for_other_rule_does_not_silence(self):
+        findings = lint("""
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random(4)  # lint: allow(det.bare-except)
+        """)
+        assert ids(findings) == ["det.unseeded-rng"]
+
+
+class TestUnusedPublic:
+    def write_project(self, tmp_path, files):
+        root = tmp_path / "repro"
+        root.mkdir()
+        paths = []
+        for name, body in files.items():
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(body))
+            paths.append(str(path))
+        return paths, str(root)
+
+    def test_dead_public_def_flagged(self, tmp_path):
+        paths, root = self.write_project(tmp_path, {
+            "a.py": """
+                def used():
+                    return 1
+
+                def dead():
+                    return 2
+            """,
+            "b.py": """
+                from repro.a import used
+            """,
+        })
+        findings = lint_paths(paths, root)
+        assert [
+            (f.lint_id, f.symbol) for f in findings
+        ] == [("api.unused-public", "dead")]
+        assert findings[0].path == "repro/a.py"
+
+    def test_init_reexport_does_not_count(self, tmp_path):
+        paths, root = self.write_project(tmp_path, {
+            "a.py": """
+                def exported_only():
+                    return 1
+            """,
+            "__init__.py": """
+                from repro.a import exported_only
+            """,
+        })
+        findings = lint_paths(paths, root)
+        assert [f.symbol for f in findings] == ["exported_only"]
+
+    def test_experimental_list_sanctions(self, tmp_path):
+        paths, root = self.write_project(tmp_path, {
+            "a.py": """
+                __experimental__ = ["prototype"]
+
+                def prototype():
+                    return 1
+            """,
+        })
+        assert lint_paths(paths, root) == []
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        paths, root = self.write_project(tmp_path, {
+            "a.py": "def broken(:\n",
+        })
+        findings = lint_paths(paths, root)
+        assert len(findings) == 1
+        assert "does not parse" in findings[0].message
+
+
+class TestBaseline:
+    def finding(self, n=0):
+        return LintFinding(
+            "det.bare-except", "repro/x.py", 10 + n, "f", "msg"
+        )
+
+    def test_roundtrip_and_counts(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline([self.finding(0), self.finding(1)], path)
+        baseline = load_baseline(path)
+        assert baseline == {self.finding().key: 2}
+
+    def test_diff_new_and_fixed(self):
+        known = self.finding()
+        other = LintFinding(
+            "det.unseeded-rng", "repro/y.py", 3, "g", "other"
+        )
+        baseline = {known.key: 1, "gone|repro/z.py|h|old": 1}
+        new, fixed = diff_baseline([known, other], baseline)
+        assert new == [other]
+        assert fixed == ["gone|repro/z.py|h|old"]
+
+    def test_second_instance_is_new(self):
+        known = self.finding(0)
+        dup = self.finding(1)  # same key, different line
+        new, fixed = diff_baseline([known, dup], {known.key: 1})
+        assert new == [dup] and fixed == []
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "none.json")) == {}
+
+    def test_key_excludes_line_number(self):
+        assert self.finding(0).key == self.finding(5).key
+
+
+class TestSelfLint:
+    def test_repo_is_clean_against_baseline(self):
+        """The acceptance gate: the library carries no lint findings
+        beyond the checked-in burndown baseline."""
+        new, __ = diff_baseline(self_lint(), load_baseline())
+        assert new == [], "\n".join(f.render() for f in new)
+
+    def test_baseline_has_no_stale_entries(self):
+        __, fixed = diff_baseline(self_lint(), load_baseline())
+        assert fixed == [], (
+            "baseline entries fixed — regenerate the baseline: "
+            f"{fixed}"
+        )
+
+    def test_lint_ids_cover_all_findings(self):
+        assert all(
+            f.lint_id in LINT_IDS for f in self_lint()
+        )

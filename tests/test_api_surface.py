@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.synth",
     "repro.analysis",
     "repro.solvers",
+    "repro.analyze",
+    "repro.verify",
 ]
 
 
@@ -90,6 +92,7 @@ def test_submodule_functions_documented():
         "repro.baselines.hisparse_sim",
         "repro.analysis.charts", "repro.analysis.spy",
         "repro.solvers.iterative", "repro.solvers.operator",
+        "repro.analyze.symbolic", "repro.analyze.lints",
     ]
     undocumented = []
     for name in modules:

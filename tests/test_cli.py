@@ -106,6 +106,72 @@ class TestCommands:
         assert "Serpens_a24" in out and "RTX 3090" in out
 
 
+class TestAnalyzeProofs:
+    def test_single_matrix_proofs(self, capsys):
+        assert main([
+            "analyze", "t2em", "--proofs", "--scale", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PROVED" in out and "REFUTED" not in out
+        assert "all proof obligations hold" in out
+
+    def test_proofs_json_has_five_obligations(self, capsys):
+        assert main([
+            "analyze", "t2em", "--proofs", "--scale", "0.2",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["matrices"] == 1 and payload["refuted"] == 0
+        report = payload["reports"][0]
+        assert report["matrix"] == "t2em"
+        assert [
+            o["obligation"] for o in report["obligations"]
+        ] == ["index_width", "coverage", "shards", "image", "policy"]
+        assert all(
+            o["status"] == "proved" for o in report["obligations"]
+        )
+
+    def test_suite_mode_proves_every_workload(self, capsys):
+        """Bare ``analyze`` sweeps the whole synth suite."""
+        from repro.synth import workload_names
+
+        assert main(["analyze", "--scale", "0.12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["matrices"] == len(workload_names())
+
+    def test_self_lint_clean_against_baseline(self, capsys):
+        assert main(["analyze", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new" in out
+
+    def test_self_lint_json(self, capsys):
+        assert main(["analyze", "--self", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["new"] == []
+        assert payload["baselined"] == payload["findings"]
+
+
+class TestRunReorder:
+    def test_run_with_reorder_reports_gain(self, capsys):
+        assert main([
+            "run", "stormG2_1000", "--scale", "0.5", "--reorder",
+            "--repeat", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reorder:" in out and "bytes/nnz" in out
+        assert "storage gain" in out
+        assert "plan vs naive engines agree" in out
+
+    def test_run_without_reorder_stays_quiet(self, capsys):
+        assert main([
+            "run", "stormG2_1000", "--scale", "0.5", "--repeat", "1",
+        ]) == 0
+        assert "reorder:" not in capsys.readouterr().out
+
+
 class TestEncodeSpmv:
     def test_encode_then_spmv(self, capsys, tmp_path):
         out = str(tmp_path / "m.npz")
