@@ -17,7 +17,11 @@ blocks, scale-free graph):
   opt-in float32) against the naive reference;
 * ``sharded_ms`` — the nnz auto-heuristic (``jobs=None``) and a forced
   shard grid;
-* ``batch`` — queries/s of the blocked SpMM batch engine.
+* ``batch`` — queries/s of the blocked SpMM batch engine;
+* ``backends`` — a per-backend sweep over every available registered
+  kernel backend that claims the canonical plan, each gated
+  **bitwise** against the ``gather`` reference, with
+  ``backend_auto`` recording what negotiation resolved.
 
 Every float64 engine must agree with the naive reference **bitwise**
 (``agree``); float32 is checked to tolerance (``agree_float32``).  Any
@@ -40,7 +44,12 @@ import numpy as np
 from benchmarks.conftest import bench_scale, publish
 from repro.analysis.report import format_table
 from repro.core import candidate_portfolios, encode_spasm
-from repro.exec.plan import ExecutionPlan, csr_kernels_available
+from repro.exec import (
+    ExecutionPlan,
+    available_backends,
+    csr_kernels_available,
+    resolve_backend,
+)
 from repro.resilience import ExecutionGuard
 from repro.synth import load_workload
 
@@ -162,6 +171,31 @@ def measure(name, scale):
     forced_s = best_of(lambda: plan.spmv(x, jobs=SHARD_JOBS))
     batch_s = best_of(lambda: plan.spmv_batch(xs))
 
+    # Per-backend sweep: every *available* registered backend that
+    # claims the canonical plan, each gated bitwise against the
+    # gather reference (the backend-split acceptance criterion).
+    gather_v = plan.spmv(x, jobs=1, backend="gather")
+    gather_b = plan.spmv_batch(xs, backend="gather")
+    backends = {}
+    for engine in available_backends():
+        if not engine.supports(plan, "spmv"):
+            continue
+        got_v = plan.spmv(x, jobs=1, backend=engine.name)
+        got_b = plan.spmv_batch(xs, backend=engine.name)
+        backends[engine.name] = {
+            "spmv_ms": best_of(
+                lambda e=engine: plan.spmv(x, jobs=1, backend=e.name)
+            ) * 1e3,
+            "batch_qps": BATCH_QUERIES / best_of(
+                lambda e=engine: plan.spmv_batch(xs, backend=e.name)
+            ),
+            "agree": bool(
+                np.array_equal(got_v, gather_v)
+                and np.array_equal(got_b, gather_b)
+            ),
+        }
+    backend_auto = resolve_backend(None, plan=plan, op="spmv").name
+
     return {
         "matrix": name,
         "scale": scale,
@@ -197,6 +231,8 @@ def measure(name, scale):
             "qps": BATCH_QUERIES / batch_s,
         },
         "batch_qps": BATCH_QUERIES / batch_s,
+        "backends": backends,
+        "backend_auto": backend_auto,
         "speedup": naive_s / i32_s,
         "int32_vs_int64": i64_s / i32_s,
         "agree": agree,
@@ -216,18 +252,33 @@ def test_exec_plan_speedup(benchmark):
 
     table = format_table(
         ["matrix", "nnz", "naive ms", "i64 ms", "i32 ms",
-         "fused build ms", "auto ms", "batch q/s", "agree"],
+         "fused build ms", "auto ms", "batch q/s", "backend",
+         "agree"],
         [
             [r["matrix"], r["nnz"], r["spmv_ms"]["naive"],
              r["spmv_ms"]["int64"], r["spmv_ms"]["int32"],
              r["build_ms"]["fused"], r["sharded_ms"]["auto"],
-             r["batch_qps"], "yes" if r["agree"] else "NO"]
+             r["batch_qps"], r["backend_auto"],
+             "yes" if r["agree"] else "NO"]
             for r in results
         ],
         title="Extension: compiled plan v2 vs naive SpMV execution",
         precision=2,
     )
     publish("exec_plan", table)
+    backend_rows = [
+        [r["matrix"], name, b["spmv_ms"], b["batch_qps"],
+         "yes" if b["agree"] else "NO"]
+        for r in results
+        for name, b in r["backends"].items()
+    ]
+    publish("exec_backends", format_table(
+        ["matrix", "backend", "spmv ms", "batch q/s",
+         "agree vs gather"],
+        backend_rows,
+        title="Per-backend kernel sweep (bitwise-gated vs gather)",
+        precision=2,
+    ))
 
     RESULT_JSON.write_text(
         json.dumps(
@@ -251,6 +302,13 @@ def test_exec_plan_speedup(benchmark):
         assert r["agree_float32"], (
             f"{r['matrix']}: float32 outside tolerance"
         )
+        # The divergence gate of the backend registry: every
+        # registered backend must reproduce gather bit for bit.
+        for name, b in r["backends"].items():
+            assert b["agree"], (
+                f"{r['matrix']}: backend {name!r} diverges bitwise "
+                "from the gather reference"
+            )
     # Timing gates apply at >=1e6 nnz (smoke runs stay noise-immune).
     for r in results:
         if r["nnz"] < 1_000_000:

@@ -5,11 +5,13 @@
 * **Symbolic plan analysis** (:mod:`repro.analyze.symbolic`) — an
   abstract-interpretation pass over compiled
   :class:`~repro.exec.plan.ExecutionPlan` artifacts that, without
-  executing a single SpMV, proves or refutes the five safety
+  executing a single SpMV, proves or refutes the six safety
   obligations the unchecked fast-path kernels rely on: index-width
   safety (with a certified symbolic bound), segment coverage
-  (write-exactly-once), shard race-freedom, memory-image bounds, and
-  guard/verifier policy consistency.  Refuted obligations surface as
+  (write-exactly-once), shard race-freedom, memory-image bounds,
+  guard/verifier policy consistency, and backend-capability coverage
+  (every dispatchable op resolves inside a registered backend's
+  declared capability envelope).  Refuted obligations surface as
   ``analyze.*`` diagnostics through :mod:`repro.verify`.
 * **Codebase lint** (:mod:`repro.analyze.lints`) — a custom AST
   checker enforcing the repository's determinism/safety discipline
@@ -42,6 +44,7 @@ from repro.analyze.symbolic import (
     analyze_plan,
     analyze_program,
     certify_index_width,
+    check_backend_capability,
     check_image_bounds,
     check_index_width,
     check_policy_consistency,
@@ -71,6 +74,7 @@ __all__ = [
     "analyze_plan",
     "analyze_program",
     "certify_index_width",
+    "check_backend_capability",
     "check_image_bounds",
     "check_index_width",
     "check_policy_consistency",

@@ -20,9 +20,12 @@ exec.implicit-dtype ``np.asarray``/``np.ascontiguousarray`` in
                     ``repro.exec`` must pin a dtype (no silent value
                     upcasts on hot paths)
 exec.raw-kernel     scipy's unchecked C kernels (``csr_matvec`` et
-                    al.) are reachable only from ``repro/exec/plan.py``
-                    — everything else goes through ``validate()``/the
-                    guard
+                    al.) are reachable only from the ``csr`` backend
+                    (``repro/exec/backends/csr.py``) — everything else
+                    goes through ``validate()``/the guard
+exec.plan-kernel    ``repro/exec/plan.py`` holds the plan model and
+                    dispatch only — numpy kernel math (``np.take``,
+                    ``np.bincount``, …) lives in the backends package
 api.unused-public   public module-level defs must be referenced
                     somewhere in the library (dead public API drifts)
 ==================  ====================================================
@@ -52,6 +55,7 @@ LINT_IDS = (
     "det.bare-except",
     "exec.implicit-dtype",
     "exec.raw-kernel",
+    "exec.plan-kernel",
     "api.unused-public",
 )
 
@@ -85,12 +89,23 @@ POOL_CALLS = frozenset({
 SHARED_POOL_HELPER = ("repro/exec/plan.py", "_pool")
 
 #: The one module allowed to touch scipy's unchecked C kernels.
-KERNEL_MODULE = "repro/exec/plan.py"
+KERNEL_MODULE = "repro/exec/backends/csr.py"
 
 #: Raw compiled-kernel surface (names whose mere reference outside the
 #: kernel module bypasses validate()/guard).
 RAW_KERNEL_NAMES = frozenset({
     "_sparsetools", "csr_matvec", "csr_matvecs", "coo_tocsr",
+})
+
+#: The plan module: data model + dispatch only, zero kernel math.
+PLAN_MODULE = "repro/exec/plan.py"
+
+#: numpy kernel-math entry points banned from the plan module (the
+#: carve-out's machine-enforced boundary; structural helpers like
+#: argsort/searchsorted/diff/zeros stay legal).
+PLAN_KERNEL_CALLS = frozenset({
+    "numpy.take", "numpy.bincount", "numpy.add.at",
+    "numpy.add.reduceat", "numpy.dot", "numpy.matmul", "numpy.einsum",
 })
 
 #: numpy.random constructors that are fine *when seeded*.
@@ -273,6 +288,7 @@ class _FileLinter(ast.NodeVisitor):
             self._check_clock(node, dotted)
             self._check_pool(node, dotted)
             self._check_asarray(node, dotted)
+            self._check_plan_kernel(node, dotted)
         self.generic_visit(node)
 
     def _has_args(self, node: ast.Call) -> bool:
@@ -347,6 +363,18 @@ class _FileLinter(ast.NodeVisitor):
             f"{dotted.rsplit('.', 1)[-1]} without an explicit dtype "
             "on an exec hot path — a silent upcast changes layout "
             "and bandwidth",
+        )
+
+    def _check_plan_kernel(self, node: ast.Call, dotted: str) -> None:
+        if self.relpath != PLAN_MODULE:
+            return
+        if dotted not in PLAN_KERNEL_CALLS:
+            return
+        self._report(
+            "exec.plan-kernel", node,
+            f"kernel math '{dotted}' in the plan module — plan.py is "
+            "model + dispatch only; kernels belong to a backend in "
+            "repro/exec/backends/",
         )
 
 

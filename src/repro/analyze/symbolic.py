@@ -6,7 +6,7 @@ trust the plan arrays completely, and the compact int32 layout makes
 index overflow a real hazard class.  This module is the static
 counterpart of that trust — an abstract-interpretation pass over the
 plan arrays that, without executing a single SpMV, *proves* (or
-refutes, with a pinpointed witness) the five obligations every
+refutes, with a pinpointed witness) the six obligations every
 dispatch relies on:
 
 ``index_width``
@@ -42,6 +42,14 @@ dispatch relies on:
     pre-dispatch check) and the ``plan.*`` rules of
     :mod:`repro.verify` agree — the two rule sources are cross-checked
     so guard and verifier can never silently drift.
+``backend``
+    Every op the plan can be asked to run (``spmv``/``spmm``/
+    ``spmv_batch``) resolves to a registered, available kernel backend
+    whose declared :meth:`~repro.exec.backends.base.ExecutionBackend.
+    capabilities` cover the plan's stored layout — a dispatch outside
+    a backend's capability envelope is refuted before any kernel would
+    silently mis-execute, with a witness naming the backend and the
+    offending dtype/op.
 
 Refuted obligations surface as ``analyze.*`` diagnostics through
 :mod:`repro.verify.analyze_rules`; :func:`analyze_plan` is the direct
@@ -60,9 +68,9 @@ PROVED = "proved"
 REFUTED = "refuted"
 SKIPPED = "skipped"
 
-#: The five obligation classes, report order.
+#: The six obligation classes, report order.
 OBLIGATION_IDS = (
-    "index_width", "coverage", "shards", "image", "policy",
+    "index_width", "coverage", "shards", "image", "policy", "backend",
 )
 
 #: Value dtypes the analyzer's policy table accepts — cross-checked
@@ -733,6 +741,64 @@ def check_policy_consistency(plan: Any) -> Obligation:
 
 
 # ---------------------------------------------------------------------
+# obligation (f): backend capability
+# ---------------------------------------------------------------------
+
+def check_backend_capability(plan: Any,
+                             backend: Optional[str] = None,
+                             ) -> Obligation:
+    """Prove every dispatchable op resolves inside a capable backend.
+
+    Resolves ``backend`` (``None`` = the same auto-negotiation the
+    dispatch layer runs) against the plan for each op a caller can
+    request.  A dispatch that would land on a backend whose
+    :meth:`~repro.exec.backends.base.ExecutionBackend.capabilities`
+    exclude the plan's stored dtypes — or on an unregistered or
+    unavailable engine — refutes the obligation with a witness naming
+    the backend and the offending dtype/op; the proof names the
+    resolved engine per op.
+    """
+    oid = "backend"
+    from repro.exec.backends import (
+        BackendCapabilityError,
+        BackendUnavailable,
+        resolve_backend,
+    )
+
+    resolved: Dict[str, str] = {}
+    for op in ("spmv", "spmm", "spmv_batch"):
+        try:
+            engine = resolve_backend(backend, plan=plan, op=op)
+        except (KeyError, BackendUnavailable,
+                BackendCapabilityError) as exc:
+            return Obligation(
+                oid, REFUTED,
+                f"op {op} on a {plan.cols.dtype.name}/"
+                f"{plan.vals.dtype.name} plan has no capable "
+                f"backend dispatch: {exc}",
+                details={
+                    "witness": {
+                        "op": op,
+                        "backend": str(backend or "auto"),
+                        "index_dtype": plan.cols.dtype.name,
+                        "value_dtype": plan.vals.dtype.name,
+                    },
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+        resolved[op] = engine.name
+    return Obligation(
+        oid, PROVED,
+        "every op resolves to an available backend whose declared "
+        "capabilities cover the plan layout ("
+        + ", ".join(f"{op}->{name}" for op, name in resolved.items())
+        + ")",
+        details={"resolved": resolved,
+                 "requested": str(backend or "auto")},
+    )
+
+
+# ---------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------
 
@@ -740,13 +806,16 @@ def analyze_plan(plan: Any,
                  spasm: Optional[Any] = None,
                  image: Optional[Any] = None,
                  jobs_grid: Optional[Sequence[int]] = None,
-                 matrix: Optional[str] = None) -> AnalysisReport:
+                 matrix: Optional[str] = None,
+                 backend: Optional[str] = None) -> AnalysisReport:
     """Run every obligation checker over one compiled plan.
 
     ``spasm`` ties the image descriptors to the stream's group count;
     ``image`` enables the memory-image bounds proof (skipped
-    otherwise).  Nothing is executed — the pass only inspects arrays
-    and derives symbolic bounds.
+    otherwise); ``backend`` pins the engine the backend-capability
+    obligation quantifies over (``None`` = auto-negotiation).  Nothing
+    is executed — the pass only inspects arrays, capability tables and
+    symbolic bounds.
     """
     k = int(getattr(spasm, "k", 4) or 4)
     obligations = [
@@ -755,6 +824,7 @@ def analyze_plan(plan: Any,
         check_shard_disjointness(plan, jobs_grid=jobs_grid),
         check_image_bounds(image, k=k, spasm=spasm),
         check_policy_consistency(plan),
+        check_backend_capability(plan, backend=backend),
     ]
     return AnalysisReport(obligations=obligations, matrix=matrix)
 
@@ -762,12 +832,13 @@ def analyze_plan(plan: Any,
 def analyze_program(program: Any,
                     with_image: bool = True,
                     jobs_grid: Optional[Sequence[int]] = None,
-                    matrix: Optional[str] = None) -> AnalysisReport:
+                    matrix: Optional[str] = None,
+                    backend: Optional[str] = None) -> AnalysisReport:
     """Analyze a compiled :class:`~repro.core.framework.SpasmProgram`.
 
     Builds (or adopts) the program's execution plan, packs the HBM
     memory images for the selected hardware configuration when
-    ``with_image`` and discharges all five obligation classes.
+    ``with_image`` and discharges all six obligation classes.
     """
     spasm = program.spasm
     plan = program.plan if program.plan is not None else spasm.plan()
@@ -778,7 +849,7 @@ def analyze_program(program: Any,
         image = pack_images(spasm, program.hw_config)
     return analyze_plan(
         plan, spasm=spasm, image=image, jobs_grid=jobs_grid,
-        matrix=matrix,
+        matrix=matrix, backend=backend,
     )
 
 

@@ -11,6 +11,7 @@
     python -m repro compare raefsky3          # throughput vs baselines
     python -m repro verify matrix.spasm.npz   # static invariant check
     python -m repro run tmt_sym --engine plan # timed numeric SpMV runs
+    python -m repro backends                  # kernel-backend registry
 
 A positional ``matrix`` argument is either a Table II workload name or
 a path to a Matrix Market ``.mtx`` file; ``--scale`` grows/shrinks the
@@ -331,7 +332,9 @@ def cmd_run(args) -> int:
     execution); ``--engine plan`` compiles the
     :class:`~repro.exec.plan.ExecutionPlan` once and runs the cached
     compact-layout kernel, sharded over ``--jobs`` threads (``0`` =
-    the plan's own nnz heuristic).  ``--batch N`` times N queries per
+    the plan's own nnz heuristic) on the kernel backend named by
+    ``--backend`` (default ``auto`` negotiates; see
+    ``python -m repro backends``).  ``--batch N`` times N queries per
     call through the blocked SpMM engine and reports queries/s.
     Float64 engines are checked **bitwise** against the naive
     reference before timing; ``--precision float32`` opts into the
@@ -358,10 +361,20 @@ def cmd_run(args) -> int:
     x = rng.random(spasm.shape[1])
     # --jobs 0 selects the plan's automatic shard heuristic.
     jobs = args.jobs if args.jobs > 0 else None
+    # --backend auto negotiates per plan layout (the default policy).
+    backend = (
+        None if getattr(args, "backend", "auto") == "auto"
+        else args.backend
+    )
 
     if args.precision == "float32" and args.engine != "plan":
         print("error: --precision float32 requires --engine plan "
               "(the guarded and naive engines are float64-exact)",
+              file=sys.stderr)
+        return 1
+    if backend is not None and args.engine == "naive":
+        print("error: --backend requires --engine plan or guarded "
+              "(the naive engine has no kernel backend)",
               file=sys.stderr)
         return 1
 
@@ -372,7 +385,7 @@ def cmd_run(args) -> int:
         plan = ExecutionPlan.build(spasm, precision="float32")
     else:
         plan = spasm.plan()
-    got = plan.spmv(x, jobs=jobs)
+    got = plan.spmv(x, jobs=jobs, backend=backend)
     if args.precision == "float32":
         agree = bool(np.allclose(got, reference,
                                  rtol=1e-5, atol=1e-8))
@@ -389,7 +402,7 @@ def cmd_run(args) -> int:
     if args.engine == "guarded":
         from repro.resilience import ExecutionGuard
 
-        guard = ExecutionGuard(spasm, seed=args.seed)
+        guard = ExecutionGuard(spasm, seed=args.seed, backend=backend)
 
     if args.batch > 0:
         xs = np.ascontiguousarray(
@@ -398,7 +411,7 @@ def cmd_run(args) -> int:
         batch_ref = np.stack([spasm.spmv_naive(row) for row in xs])
         if args.engine == "plan":
             def step():
-                return plan.spmv_batch(xs, jobs=jobs)
+                return plan.spmv_batch(xs, jobs=jobs, backend=backend)
         elif args.engine == "guarded":
             def step():
                 return guard.spmv_batch(xs, jobs=jobs)
@@ -419,7 +432,7 @@ def cmd_run(args) -> int:
             return 1
     elif args.engine == "plan":
         def step():
-            return plan.spmv(x, jobs=jobs)
+            return plan.spmv(x, jobs=jobs, backend=backend)
     elif args.engine == "guarded":
         def step():
             return guard.spmv(x, jobs=jobs)
@@ -437,7 +450,18 @@ def cmd_run(args) -> int:
     jobs_note = "auto" if jobs is None else str(jobs)
     print(f"matrix:   {args.matrix} shape={spasm.shape} "
           f"nnz={spasm.source_nnz}")
-    print(f"engine:   {args.engine} (jobs={jobs_note})")
+    if args.engine == "naive":
+        print(f"engine:   {args.engine} (jobs={jobs_note})")
+    else:
+        from repro.exec import resolve_backend
+
+        engine = resolve_backend(backend, plan=plan, op="spmv")
+        resolved = (
+            engine.name if backend is None
+            else f"{engine.name}, explicit"
+        )
+        print(f"engine:   {args.engine} (jobs={jobs_note}, "
+              f"backend={resolved})")
     if reorder is not None:
         print(f"reorder:  {gain['before_bytes_per_nnz']:.2f} -> "
               f"{gain['after_bytes_per_nnz']:.2f} bytes/nnz "
@@ -461,6 +485,60 @@ def cmd_run(args) -> int:
         print(f"guard:    {incidents} incident(s) logged")
         if incidents:
             print(guard.log.render())
+    return 0
+
+
+def cmd_backends(args) -> int:
+    """List the registered kernel backends and their capabilities.
+
+    One row per backend in negotiation order (priority descending):
+    availability (with the missing requirement when soft-unavailable)
+    and the declared capability envelope — which index/value dtype
+    layouts and which of the three ops (``spmv``/``spmm``/
+    ``spmv_batch``) each backend claims.  ``auto`` dispatch picks the
+    first *available* backend in this order whose envelope covers the
+    plan's layout, so the table is the negotiation policy, printed.
+    """
+    import json
+
+    from repro.exec import available_backends, registered_backends
+
+    engines = registered_backends()
+    ready = {engine.name for engine in available_backends()}
+    if args.json:
+        payload = []
+        for engine in engines:
+            caps = engine.capabilities()
+            payload.append({
+                "name": engine.name,
+                "priority": engine.priority,
+                "available": engine.name in ready,
+                "requires": engine.requires(),
+                "capabilities": caps.as_dict(),
+            })
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = []
+    for engine in engines:
+        caps = engine.capabilities()
+        if engine.name in ready:
+            status = "available"
+        else:
+            status = f"unavailable (needs {engine.requires()})"
+        layouts = ", ".join(
+            f"{idx}x{val}"
+            for idx in caps.index_dtypes for val in caps.value_dtypes
+        )
+        rows.append([
+            engine.name, engine.priority, status,
+            layouts, ", ".join(caps.ops),
+        ])
+    print(format_table(
+        ["backend", "priority", "status", "index x value dtypes",
+         "ops"],
+        rows,
+        title="Registered kernel backends (auto negotiates top-down)",
+    ))
     return 0
 
 
@@ -668,11 +746,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-spy", action="store_true",
                          help="skip the spy plot")
     analyze.add_argument("--proofs", action="store_true",
-                         help="prove the five plan safety obligations "
+                         help="prove the six plan safety obligations "
                               "(index width, coverage, shards, image, "
-                              "policy) symbolically instead of the "
-                              "pattern report; a refuted obligation "
-                              "exits 1")
+                              "policy, backend) symbolically instead "
+                              "of the pattern report; a refuted "
+                              "obligation exits 1")
     analyze.add_argument("--self", dest="self_lint",
                          action="store_true",
                          help="run the AST determinism/safety lint "
@@ -737,6 +815,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "checked against the naive engine "
                           "(default); float32 opts into the compact "
                           "layout, checked to tolerance")
+    run.add_argument("--backend", default="auto",
+                     help="kernel backend for the plan/guarded "
+                          "engines: 'auto' negotiates from the "
+                          "registry (default); or a registered name "
+                          "(see 'python -m repro backends')")
     run.add_argument("--seed", type=int, default=0,
                      help="seed for the random x vector")
     run.add_argument("--reorder", action="store_true",
@@ -747,6 +830,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="FILE",
                      help="write the per-stage pipeline trace to FILE "
                           "as JSON")
+
+    backends = sub.add_parser(
+        "backends",
+        help="list the registered kernel backends, their availability "
+             "and capability envelopes",
+    )
+    backends.add_argument("--json", action="store_true",
+                          help="emit the backend table as JSON")
 
     spmv = sub.add_parser(
         "spmv", help="run one simulated SpMV from a saved encoding"
@@ -830,6 +921,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "encode": cmd_encode,
     "run": cmd_run,
+    "backends": cmd_backends,
     "spmv": cmd_spmv,
     "verify": cmd_verify,
     "faults": cmd_faults,

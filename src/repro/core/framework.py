@@ -201,11 +201,18 @@ class SpasmCompiler:
         :attr:`SpasmProgram.plan`.
     analyze:
         Append the :class:`~repro.pipeline.passes.AnalyzePass`: each
-        compile symbolically proves the five plan safety obligations
+        compile symbolically proves the six plan safety obligations
         (:mod:`repro.analyze`) and raises
         :class:`~repro.core.format.FormatError` on any refutation.
         Implies plan construction; with ``cache_dir`` the proof is
         content-addressed alongside the plan it certifies.
+    backend:
+        Kernel backend the compiled plan is intended to dispatch on
+        (``None`` = auto-negotiation).  Threaded into
+        :class:`~repro.pipeline.passes.PlanPass` (resolved at compile
+        time so an incapable pinning fails early) and
+        :class:`~repro.pipeline.passes.AnalyzePass` (the
+        backend-capability obligation quantifies over it).
     """
 
     PORTFOLIO_STRATEGIES = ("candidates", "greedy", "combined")
@@ -216,8 +223,10 @@ class SpasmCompiler:
                  portfolio_strategy: str = "candidates",
                  hazard_aware: bool = False, jobs: int = 1,
                  cache_dir=None, verify: bool = False,
-                 build_plan: bool = False, analyze: bool = False):
+                 build_plan: bool = False, analyze: bool = False,
+                 backend: Optional[str] = None):
         self.k = k
+        self.backend = backend
         if portfolio_strategy not in self.PORTFOLIO_STRATEGIES:
             raise ValueError(
                 f"unknown portfolio strategy {portfolio_strategy!r}; "
@@ -288,9 +297,9 @@ class SpasmCompiler:
         if self.verify:
             passes.append(VerifyPass())
         if self.build_plan:
-            passes.append(PlanPass())
+            passes.append(PlanPass(backend=self.backend))
         if self.analyze:
-            passes.append(AnalyzePass())
+            passes.append(AnalyzePass(backend=self.backend))
         return passes
 
     def compile(self, coo: COOMatrix,

@@ -127,11 +127,13 @@ def explore_schedule(composition_factory, hw_configs, perf_model,
     tile_sizes:
         Tile sizes to sweep.
     jobs:
-        Evaluate tile sizes concurrently on up to this many threads
-        (the composition rebuild dominates and releases the GIL inside
-        numpy).  The reduction is deterministic: points are gathered in
-        sweep order before the strict-< minimum is taken, so any
-        ``jobs`` value selects exactly the point the serial sweep does.
+        ``jobs > 1`` evaluates tile sizes concurrently on the process's
+        shared executor (:func:`repro.exec.plan._pool` — the same
+        bounded pool the plan shards run on; the composition rebuild
+        dominates and releases the GIL inside numpy).  The reduction is
+        deterministic: points are gathered in sweep order before the
+        strict-< minimum is taken, so any ``jobs`` value selects
+        exactly the point the serial sweep does.
     """
     hw_configs = list(hw_configs)
     if not hw_configs:
@@ -148,19 +150,19 @@ def explore_schedule(composition_factory, hw_configs, perf_model,
             for tile_size in tile_sizes
         ]
     else:
-        from concurrent.futures import ThreadPoolExecutor
+        # The shared executor (one pool per process, same threads the
+        # plan shards run on); results are collected in sweep order so
+        # the reduction below stays deterministic for every ``jobs``.
+        from repro.exec.plan import _pool
 
-        with ThreadPoolExecutor(
-            max_workers=min(jobs, len(tile_sizes))
-        ) as pool:
-            per_tile = list(
-                pool.map(
-                    lambda ts: _evaluate_tile(
-                        composition_factory, ts, hw_configs, perf_model
-                    ),
-                    tile_sizes,
-                )
+        futures = [
+            _pool().submit(
+                _evaluate_tile, composition_factory, tile_size,
+                hw_configs, perf_model,
             )
+            for tile_size in tile_sizes
+        ]
+        per_tile = [future.result() for future in futures]
 
     points = [point for tile_points in per_tile for point in tile_points]
     best = None

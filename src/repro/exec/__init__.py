@@ -7,10 +7,16 @@ call.  This package compiles a matrix-specific :class:`ExecutionPlan`
 (or re-expanded), padding slots dropped, the stream sorted by output
 row, segment boundaries precomputed, arrays stored in the narrowest
 dtype that fits — so every subsequent SpMV is a pure gather + a
-sequential segment reduction (scipy's compiled CSR kernel for compact
-int32/float64 plans, ``np.bincount`` otherwise; bitwise-identical
-either way), and a multi-RHS SpMM or ``spmv_batch`` reuses the same
-plan with one gather per vector block.
+sequential segment reduction, and a multi-RHS SpMM or ``spmv_batch``
+reuses the same plan with one gather per vector block.
+
+Kernels live behind the pluggable backend registry
+(:mod:`repro.exec.backends`): ``gather`` is the always-available
+portable reference, ``csr`` promotes scipy's compiled compact-layout
+fast path, ``numba`` JITs the reduction when numba is installed — all
+bitwise identical on the float64 layouts they claim, negotiated per
+plan by :func:`resolve_backend` or pinned with ``backend="name"`` on
+every entry point.
 
 Plans are content-keyed (:func:`stream_digest`), cached lazily on the
 matrix, optionally persisted through the pipeline's artifact cache, and
@@ -18,10 +24,23 @@ executable on a thread pool in deterministic row-block shards
 (``plan.spmv(x, jobs=N)`` is bitwise identical for every ``N``).
 """
 
+from repro.exec.backends import (
+    BackendCapabilities,
+    BackendCapabilityError,
+    BackendUnavailable,
+    ExecutionBackend,
+    available_backends,
+    csr_kernels_available,
+    get_backend,
+    numba_available,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    unregister_backend,
+)
 from repro.exec.plan import (
     ExecutionPlan,
     PLAN_STAGE,
-    csr_kernels_available,
     digest_async,
     index_dtype_for,
     plan_checksum,
@@ -30,12 +49,23 @@ from repro.exec.plan import (
 )
 
 __all__ = [
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendUnavailable",
+    "ExecutionBackend",
     "ExecutionPlan",
     "PLAN_STAGE",
+    "available_backends",
     "csr_kernels_available",
     "digest_async",
+    "get_backend",
     "index_dtype_for",
+    "numba_available",
     "plan_checksum",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "set_shard_fault_hook",
     "stream_digest",
+    "unregister_backend",
 ]

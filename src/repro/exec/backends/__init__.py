@@ -1,0 +1,48 @@
+"""Pluggable kernel backends for compiled execution plans.
+
+See :mod:`repro.exec.backends.base` for the protocol,
+:mod:`repro.exec.backends.registry` for registration and capability
+negotiation, and ``docs/EXEC.md`` for the architecture (including how
+to add a backend).
+"""
+
+from repro.exec.backends.base import (
+    BACKEND_OPS,
+    BackendCapabilities,
+    BackendCapabilityError,
+    BackendUnavailable,
+    ExecutionBackend,
+)
+from repro.exec.backends.csr import (
+    CsrBackend,
+    csr_kernels_available,
+)
+from repro.exec.backends.gather import GatherBackend
+from repro.exec.backends.numba_jit import NumbaBackend, numba_available
+from repro.exec.backends.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "BACKEND_OPS",
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendUnavailable",
+    "CsrBackend",
+    "ExecutionBackend",
+    "GatherBackend",
+    "NumbaBackend",
+    "available_backends",
+    "csr_kernels_available",
+    "get_backend",
+    "numba_available",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "unregister_backend",
+]

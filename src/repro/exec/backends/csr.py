@@ -1,0 +1,161 @@
+"""The scipy compact-layout fast path, as a first-class backend.
+
+scipy's compiled CSR kernels accumulate rows sequentially — the same
+order as ``np.bincount`` — and consume int32 index arrays natively,
+which is exactly the compact plan layout.  This module is the **only**
+place allowed to touch ``scipy.sparse._sparsetools`` (machine-enforced
+by the ``exec.raw-kernel`` self-lint): everything else reaches the
+kernels through the backend protocol, behind ``validate()``/the guard.
+
+The capability envelope is deliberately narrow: ``csr_matvec``
+requires ``x`` and the value array to share a dtype, so a float32
+value plan (float64 ``x``) can never match the gather reference
+bitwise through it — the backend claims int32/float64 only, and
+capability negotiation routes every other layout elsewhere.
+
+The module also hosts :func:`counting_sort_rows`, the build-time
+``coo_tocsr`` counting sort the plan builder prefers over the portable
+stable argsort (same plan bit for bit, one O(slots + rows) C pass).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    segment_counts,
+    shard_row_range,
+)
+
+#: scipy's compiled CSR kernels, or ``None`` when scipy is absent.
+#: Optional by design: every dispatch and build path falls back to the
+#: portable gather backend / stable argsort.
+_csr_kernels: Any = None
+try:  # pragma: no cover - exercised implicitly by every kernel test
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    if hasattr(_scipy_sparsetools, "csr_matvec") and hasattr(
+        _scipy_sparsetools, "csr_matvecs"
+    ):
+        _csr_kernels = _scipy_sparsetools
+except ImportError:  # pragma: no cover - scipy is optional
+    pass
+
+
+def csr_kernels_available() -> bool:
+    """Whether the compiled CSR fast path can be dispatched at all."""
+    return _csr_kernels is not None
+
+
+def counting_sort_rows(
+    shape: Tuple[int, int],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    index_dt: np.dtype,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Stable row sort of a slot stream via ``coo_tocsr``; None if
+    ineligible.
+
+    One O(n_slots + nrows) C pass that emits the permuted cols/vals
+    (vals as float64) and the segment pointers directly — it walks the
+    input in order, so ties keep stream order exactly like
+    ``np.argsort(kind="stable")`` and the resulting plan is bitwise
+    identical to the portable path (asserted by the kernel-parity
+    tests).  Returns ``(cols, vals_f64, seg_starts, seg_rows)``.
+
+    Ineligible — returning ``None`` so the caller takes the portable
+    argsort — when scipy is absent, the stream is empty, the shape is
+    pathologically tall for the dense O(nrows) row pointer, or any row
+    is out of range: ``coo_tocsr`` scatters through the row pointer
+    UNCHECKED, and a corrupted stream being recompiled (as the fault
+    campaign does) must reach ``validate()``, not write out of bounds.
+    """
+    n_slots = int(rows.size)
+    if (
+        _csr_kernels is None
+        or not hasattr(_csr_kernels, "coo_tocsr")
+        or n_slots == 0
+        or shape[0] > 8 * n_slots + 1024
+    ):
+        return None
+    # Two sequential reductions: negligible next to the sort.
+    rmin = int(rows.min())
+    rmax = int(rows.max())
+    if rmin < 0 or rmax >= shape[0]:
+        return None
+    src_rows = np.ascontiguousarray(rows, dtype=index_dt)
+    src_cols = np.ascontiguousarray(cols, dtype=index_dt)
+    src_vals = np.ascontiguousarray(vals, dtype=np.float64)
+    # coo_tocsr fully initializes the row pointer (SciPy's own tocsr
+    # passes np.empty here too).
+    indptr = np.empty(shape[0] + 1, dtype=index_dt)
+    out_cols = np.empty(n_slots, dtype=index_dt)
+    sorted_vals = np.empty(n_slots, dtype=np.float64)
+    _csr_kernels.coo_tocsr(
+        shape[0], shape[1], n_slots,
+        src_rows, src_cols, src_vals,
+        indptr, out_cols, sorted_vals,
+    )
+    nz_rows = np.flatnonzero(indptr[1:] != indptr[:-1])
+    seg_rows = np.ascontiguousarray(nz_rows, dtype=index_dt)
+    seg_starts = np.ascontiguousarray(indptr[nz_rows], dtype=index_dt)
+    return out_cols, sorted_vals, seg_starts, seg_rows
+
+
+class CsrBackend(ExecutionBackend):
+    """scipy's compiled CSR matvec/matvecs over the compact layout."""
+
+    name = "csr"
+    priority = 30
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            index_dtypes=("int32",),
+            value_dtypes=("float64",),
+        )
+
+    def requires(self) -> Optional[str]:
+        if csr_kernels_available():
+            return None
+        return "scipy (sparse C kernels)"
+
+    def prepare(self, plan: Any) -> np.ndarray:
+        """Densify the segment pointers into a CSR row pointer."""
+        indptr = np.zeros(plan.shape[0] + 1, dtype=np.int32)
+        indptr[plan.seg_rows.astype(np.intp) + 1] = (
+            segment_counts(plan).astype(np.int32)
+        )
+        np.cumsum(indptr, out=indptr)
+        return indptr
+
+    def spmv(self, plan: Any, state: np.ndarray, x: np.ndarray,
+             out: np.ndarray, lo: int, hi: int) -> None:
+        r0, r1 = shard_row_range(plan, lo, hi)
+        # The compiled kernel consumes the int32 arrays in place and
+        # accumulates each row sequentially — the exact order of the
+        # portable gather kernel.
+        _csr_kernels.csr_matvec(
+            r1 - r0, plan.shape[1], state[r0:], plan.cols,
+            plan.vals, x, out[r0:r1],
+        )
+
+    def spmm(self, plan: Any, state: np.ndarray, xb: np.ndarray,
+             out: np.ndarray, j0: int, j1: int, lo: int,
+             hi: int) -> None:
+        nb = j1 - j0
+        r0, r1 = shard_row_range(plan, lo, hi)
+        block = np.zeros((r1 - r0, nb), dtype=np.float64)
+        _csr_kernels.csr_matvecs(
+            r1 - r0, plan.shape[1], nb, state[r0:], plan.cols,
+            plan.vals, xb.reshape(-1), block.reshape(-1),
+        )
+        out[r0:r1, j0:j1] = block
+
+    def prepared_arrays(self,
+                        state: np.ndarray) -> Dict[str, np.ndarray]:
+        return {"indptr": state}

@@ -1,0 +1,118 @@
+"""The portable gather + segment-reduce reference backend.
+
+Pure numpy, always available, and the **bitwise reference** every
+other float64 backend is gated against: ``np.take`` the operands,
+multiply in place, and reduce each output-row segment with one
+``np.bincount(seg, weights)`` — a sequential left-to-right
+accumulation, exactly the order of ``spmv_naive`` and of scipy's CSR
+matvec (pairwise schemes like ``np.add.reduceat`` are excluded for
+this reason).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.exec.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    segment_counts,
+    shard_row_range,
+    shard_slot_range,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GatherState:
+    """Per-plan scratch of the gather kernels.
+
+    ``rows`` is the per-slot output row and ``cols`` the gather
+    indices, both widened to ``intp`` (what ``np.take`` and fancy
+    indexing want); for an int64 plan on a 64-bit host the widening
+    aliases the plan arrays copy-free.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+
+
+def slot_rows(plan: Any) -> np.ndarray:
+    """Per-slot output row, widened to intp for the numpy kernels."""
+    return np.repeat(
+        plan.seg_rows.astype(np.intp, copy=False),
+        segment_counts(plan),
+    )
+
+
+def plan_diagonal(plan: Any) -> np.ndarray:
+    """The matrix diagonal of a plan (Jacobi preconditioning).
+
+    Lives with the gather kernels because it is one masked
+    ``np.bincount`` over the slot stream — the plan module itself
+    holds no kernel invocations.
+    """
+    n = min(plan.shape)
+    rows = slot_rows(plan)
+    on_diag = rows == plan.cols
+    return np.bincount(
+        rows[on_diag],
+        weights=plan.vals[on_diag],
+        minlength=n,
+    )[:n]
+
+
+class GatherBackend(ExecutionBackend):
+    """The portable take/multiply/bincount engine (reference)."""
+
+    name = "gather"
+    priority = 10
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            index_dtypes=("int32", "int64"),
+            value_dtypes=("float32", "float64"),
+        )
+
+    def prepare(self, plan: Any) -> GatherState:
+        return GatherState(
+            rows=slot_rows(plan),
+            cols=plan.cols.astype(np.intp, copy=False),
+        )
+
+    def spmv(self, plan: Any, state: GatherState, x: np.ndarray,
+             out: np.ndarray, lo: int, hi: int) -> None:
+        r0, r1 = shard_row_range(plan, lo, hi)
+        s0, s1 = shard_slot_range(plan, lo, hi)
+        gathered = np.take(x, state.cols[s0:s1])
+        gathered *= plan.vals[s0:s1]
+        seg = state.rows[s0:s1]
+        if r0:
+            seg = seg - r0
+        out[r0:r1] = np.bincount(
+            seg, weights=gathered, minlength=r1 - r0
+        )
+
+    def spmm(self, plan: Any, state: GatherState, xb: np.ndarray,
+             out: np.ndarray, j0: int, j1: int, lo: int,
+             hi: int) -> None:
+        nb = j1 - j0
+        r0, r1 = shard_row_range(plan, lo, hi)
+        s0, s1 = shard_slot_range(plan, lo, hi)
+        gathered = xb[state.cols[s0:s1]]
+        gathered *= plan.vals[s0:s1, None]
+        seg = state.rows[s0:s1]
+        if r0:
+            seg = seg - r0
+        block = np.empty((r1 - r0, nb), dtype=np.float64)
+        for j in range(nb):
+            block[:, j] = np.bincount(
+                seg, weights=gathered[:, j], minlength=r1 - r0
+            )
+        out[r0:r1, j0:j1] = block
+
+    def prepared_arrays(self,
+                        state: GatherState) -> Dict[str, np.ndarray]:
+        return {"rows": state.rows, "cols": state.cols}

@@ -1,0 +1,148 @@
+"""Optional numba JIT of the gather + segment-reduce loop.
+
+numba is **not** in the base environment: the backend registers
+unconditionally (so ``python -m repro backends`` can name the missing
+dependency) but reports itself unavailable when the import fails, and
+capability negotiation simply skips it — CI stays green without it,
+and the optional-deps CI leg installs numba and runs the parity suite.
+
+The jitted kernels accumulate each output-row segment left-to-right
+(``acc = 0.0; acc += x[cols[i]] * vals[i]``) — exactly the order of
+the gather reference's ``np.bincount`` reduction and of scipy's CSR
+matvec — so float64 results are bitwise identical to both.  A float32
+value upcasts to float64 at each multiply, again matching the numpy
+semantics, so the backend claims the full dtype envelope.
+
+Compilation is lazy (first :meth:`prepare` in a process) and typed
+per layout; ``nogil=True`` lets sharded dispatch genuinely
+parallelize.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+)
+
+_numba: Any = None
+try:  # pragma: no cover - numba absent in the base environment
+    import numba as _numba_module
+
+    _numba = _numba_module
+except ImportError:  # pragma: no cover - the expected default
+    pass
+
+#: Lazily jitted (spmv, spmm) kernel pair; compiled once per process.
+_KERNELS: Optional[Tuple[Any, Any]] = None
+
+
+def numba_available() -> bool:
+    """Whether the JIT backend can compile and dispatch at all."""
+    return _numba is not None
+
+
+def _compiled_kernels() -> Tuple[Any, Any]:
+    """Define and jit the segment-reduce kernels (once per process)."""
+    global _KERNELS
+    if _KERNELS is None:
+        njit = _numba.njit
+
+        @njit(nogil=True)
+        def spmv_kernel(cols, vals, seg_starts, seg_rows, n_slots,
+                        x, out, lo, hi):  # pragma: no cover - jitted
+            n_segments = seg_rows.shape[0]
+            for s in range(lo, hi):
+                start = seg_starts[s]
+                end = n_slots
+                if s + 1 < n_segments:
+                    end = seg_starts[s + 1]
+                acc = 0.0
+                for i in range(start, end):
+                    acc += x[cols[i]] * vals[i]
+                out[seg_rows[s]] = acc
+
+        @njit(nogil=True)
+        def spmm_kernel(cols, vals, seg_starts, seg_rows, n_slots,
+                        xb, out, j0, lo, hi):  # pragma: no cover
+            n_segments = seg_rows.shape[0]
+            nb = xb.shape[1]
+            for s in range(lo, hi):
+                start = seg_starts[s]
+                end = n_slots
+                if s + 1 < n_segments:
+                    end = seg_starts[s + 1]
+                row = seg_rows[s]
+                for j in range(nb):
+                    acc = 0.0
+                    for i in range(start, end):
+                        acc += xb[cols[i], j] * vals[i]
+                    out[row, j0 + j] = acc
+
+        _KERNELS = (spmv_kernel, spmm_kernel)
+    return _KERNELS
+
+
+class NumbaBackend(ExecutionBackend):
+    """JIT-compiled sequential segment reduction (optional)."""
+
+    name = "numba"
+    priority = 20
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            index_dtypes=("int32", "int64"),
+            value_dtypes=("float32", "float64"),
+        )
+
+    def requires(self) -> Optional[str]:
+        if numba_available():
+            return None
+        return "numba (pip install numba)"
+
+    def prepare(self, plan: Any) -> Any:
+        """Bind the jitted kernels to the plan's arrays.
+
+        The state aliases the plan arrays directly (no copies), plus
+        the compiled kernel pair — so the first prepare in a process
+        pays the JIT compile, and byte-level fault flips into the
+        bound arrays reach the kernels exactly as they reach the plan.
+        """
+        spmv_kernel, spmm_kernel = _compiled_kernels()
+        return types.SimpleNamespace(
+            cols=plan.cols,
+            vals=plan.vals,
+            seg_starts=plan.seg_starts,
+            seg_rows=plan.seg_rows,
+            n_slots=int(plan.vals.size),
+            spmv_kernel=spmv_kernel,
+            spmm_kernel=spmm_kernel,
+        )
+
+    def spmv(self, plan: Any, state: Any, x: np.ndarray,
+             out: np.ndarray, lo: int, hi: int) -> None:
+        state.spmv_kernel(
+            state.cols, state.vals, state.seg_starts, state.seg_rows,
+            state.n_slots, x, out, lo, hi,
+        )
+
+    def spmm(self, plan: Any, state: Any, xb: np.ndarray,
+             out: np.ndarray, j0: int, j1: int, lo: int,
+             hi: int) -> None:
+        state.spmm_kernel(
+            state.cols, state.vals, state.seg_starts, state.seg_rows,
+            state.n_slots, xb, out, j0, lo, hi,
+        )
+
+    def prepared_arrays(self, state: Any) -> Dict[str, np.ndarray]:
+        return {
+            "cols": state.cols,
+            "vals": state.vals,
+            "seg_starts": state.seg_starts,
+            "seg_rows": state.seg_rows,
+        }

@@ -18,14 +18,23 @@ Build time (once per matrix)
       unless ``precision="float32"`` is requested explicitly).
 
 Call time (every SpMV)
-    * gather ``vals * x[cols]`` (one sequential read of the plan, one
-      indexed read of ``x``),
-    * reduce each output-row segment with *sequential* left-to-right
-      accumulation — compact int32/float64 plans dispatch to scipy's
-      compiled CSR kernel when available, everything else runs the
-      portable ``np.bincount`` reduction; both accumulate in the exact
-      same order, so every engine/dtype combination (and the
-      ``spmv_naive`` oracle) produces bitwise-identical float64 output.
+    * resolve a kernel backend (:mod:`repro.exec.backends`):
+      ``backend=None`` negotiates the highest-priority registered
+      backend whose declared capabilities cover the plan's layout —
+      compact int32/float64 plans take scipy's compiled CSR kernels
+      (``csr``), everything else the portable take/bincount engine
+      (``gather``), with the optional ``numba`` JIT in between when
+      installed,
+    * dispatch each shard through that backend's segment-reduce
+      kernel.  Every backend accumulates each output-row segment
+      *sequentially* left-to-right, so every engine/dtype combination
+      (and the ``spmv_naive`` oracle) produces bitwise-identical
+      float64 output.
+
+This module holds **no kernel math at all** (machine-enforced by the
+``exec.plan-kernel`` self-lint): only the plan data model — digests,
+checksums, caching, validation — and the backend-independent dispatch
+layer (shard grids, the shared pool, the fault hook).
 
 Sharding splits the *segments* (output rows) into contiguous blocks of
 roughly equal slot count; shards write disjoint rows, and each segment
@@ -50,20 +59,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-#: scipy's compiled CSR kernels accumulate rows sequentially — the same
-#: order as ``np.bincount`` and ``np.add.at`` — and consume int32 index
-#: arrays natively, which is exactly the compact plan layout.  Optional:
-#: every code path below falls back to the portable numpy kernel.
-_csr_kernels: Any = None
-try:  # pragma: no cover - exercised implicitly by every kernel test
-    from scipy.sparse import _sparsetools as _scipy_sparsetools
-
-    if hasattr(_scipy_sparsetools, "csr_matvec") and hasattr(
-        _scipy_sparsetools, "csr_matvecs"
-    ):
-        _csr_kernels = _scipy_sparsetools
-except ImportError:  # pragma: no cover - scipy is optional
-    pass
+from repro.exec.backends.base import ExecutionBackend
+from repro.exec.backends.csr import counting_sort_rows
+from repro.exec.backends.registry import resolve_backend
 
 #: Stage name used for persisted plan artifacts (``plan-<key>.npz``
 #: entries in a :class:`repro.pipeline.cache.ArtifactCache`).
@@ -111,11 +109,6 @@ def set_shard_fault_hook(
     previous = _SHARD_HOOK
     _SHARD_HOOK = hook
     return previous
-
-
-def csr_kernels_available() -> bool:
-    """Whether the compiled CSR fast path can be dispatched at all."""
-    return _csr_kernels is not None
 
 
 def index_dtype_for(shape: Tuple[int, int], n_slots: int) -> np.dtype:
@@ -480,56 +473,31 @@ class ExecutionPlan:
             raise ValueError(f"unsupported value dtype {value_dt}")
 
         # The row sort is a stable counting sort when SciPy is around:
-        # ``coo_tocsr`` is one O(n_slots + nrows) C pass that emits the
-        # permuted cols/vals and the row pointer directly — it walks
-        # the input in order, so ties keep stream order exactly like
-        # ``np.argsort(kind="stable")`` and the resulting plan is
-        # bitwise identical to the portable path below (asserted by
-        # the kernel-parity tests).  The dense row pointer costs
-        # O(nrows) scratch, so pathologically tall, nearly-empty
-        # shapes fall back to the sort.
-        use_tocsr = (
-            _csr_kernels is not None
-            and hasattr(_csr_kernels, "coo_tocsr")
-            and n_slots > 0
-            and shape[0] <= 8 * n_slots + 1024
+        # ``coo_tocsr`` (:func:`repro.exec.backends.csr
+        # .counting_sort_rows`) is one O(n_slots + nrows) C pass that
+        # emits the permuted cols/vals and the segment pointers
+        # directly — it walks the input in order, so ties keep stream
+        # order exactly like ``np.argsort(kind="stable")`` and the
+        # resulting plan is bitwise identical to the portable path
+        # below (asserted by the kernel-parity tests).  The helper
+        # declines (returns None) when ineligible — scipy absent,
+        # pathologically tall shapes, or out-of-range rows (a
+        # corrupted stream being recompiled must reach validate(),
+        # not scatter out of bounds) — and the stable argsort runs.
+        counted = (
+            counting_sort_rows(shape, kept_rows, kept_cols,
+                               kept_vals, index_dt)
+            if n_slots > 0 else None
         )
-        if use_tocsr:
-            # coo_tocsr scatters through the row pointer UNCHECKED — an
-            # out-of-range row (a corrupted stream being recompiled, as
-            # the fault campaign does) would write out of bounds and
-            # crash.  The sort path tolerates any coordinates and
-            # leaves detection to validate(), so route bad rows there.
-            # Two sequential reductions: negligible next to the sort.
-            rmin = int(kept_rows.min())
-            rmax = int(kept_rows.max())
-            use_tocsr = 0 <= rmin and rmax < shape[0]
         if n_slots == 0:
             out_cols = np.zeros(0, dtype=index_dt)
             out_vals = np.zeros(0, dtype=value_dt)
             seg_starts = np.zeros(0, dtype=index_dt)
             seg_rows = np.zeros(0, dtype=index_dt)
-        elif use_tocsr:
-            src_rows = np.ascontiguousarray(kept_rows, dtype=index_dt)
-            src_cols = np.ascontiguousarray(kept_cols, dtype=index_dt)
-            src_vals = np.ascontiguousarray(kept_vals,
-                                            dtype=np.float64)
-            # coo_tocsr fully initializes the row pointer (SciPy's own
-            # tocsr passes np.empty here too).
-            indptr = np.empty(shape[0] + 1, dtype=index_dt)
-            out_cols = np.empty(n_slots, dtype=index_dt)
-            sorted_vals = np.empty(n_slots, dtype=np.float64)
-            _csr_kernels.coo_tocsr(
-                shape[0], shape[1], n_slots,
-                src_rows, src_cols, src_vals,
-                indptr, out_cols, sorted_vals,
-            )
+        elif counted is not None:
+            out_cols, sorted_vals, seg_starts, seg_rows = counted
             out_vals = np.ascontiguousarray(sorted_vals,
                                             dtype=value_dt)
-            nz_rows = np.flatnonzero(indptr[1:] != indptr[:-1])
-            seg_rows = np.ascontiguousarray(nz_rows, dtype=index_dt)
-            seg_starts = np.ascontiguousarray(indptr[nz_rows],
-                                              dtype=index_dt)
         else:
             order = np.argsort(kept_rows, kind="stable")
             srows = kept_rows[order]
@@ -801,64 +769,28 @@ class ExecutionPlan:
 
     def diagonal(self) -> np.ndarray:
         """The matrix diagonal (for Jacobi-style preconditioning)."""
-        n = min(self.shape)
-        rows = self._slot_rows()
-        on_diag = rows == self.cols
-        return np.bincount(
-            rows[on_diag],
-            weights=self.vals[on_diag],
-            minlength=n,
-        )[:n]
+        from repro.exec.backends.gather import plan_diagonal
 
-    def _seg_counts(self) -> np.ndarray:
-        """Slot count of each segment."""
-        return np.diff(np.append(self.seg_starts, self.n_slots))
+        return plan_diagonal(self)
 
     # ------------------------------------------------------------------
-    # derived kernel state (lazy, never persisted)
+    # backend state (lazy, never persisted)
     # ------------------------------------------------------------------
 
-    def _slot_rows(self) -> np.ndarray:
-        """Per-slot output row, widened to intp for the numpy kernels."""
-        rows = self._scratch.get("rows")
-        if rows is None:
-            rows = np.repeat(
-                self.seg_rows.astype(np.intp, copy=False),
-                self._seg_counts(),
-            )
-            self._scratch["rows"] = rows
-        return rows
+    def _backend_state(self, engine: ExecutionBackend) -> Any:
+        """The engine's prepared scratch for this plan, memoized.
 
-    def _cols_intp(self) -> np.ndarray:
-        """Gather indices widened to intp (what np.take wants)."""
-        cols = self._scratch.get("cols_intp")
-        if cols is None:
-            cols = self.cols.astype(np.intp, copy=False)
-            self._scratch["cols_intp"] = cols
-        return cols
-
-    def _csr_indptr(self) -> Optional[np.ndarray]:
-        """CSR row pointers when the compiled fast path applies.
-
-        Eligible exactly when scipy's kernels are importable and the
-        plan is in the compact int32/float64 layout those kernels
-        consume natively; ``None`` routes dispatch to the portable
-        ``np.bincount`` kernel (same accumulation order, same bits).
+        One :meth:`~repro.exec.backends.base.ExecutionBackend.prepare`
+        per (plan, backend) pair — the software analogue of a device
+        upload — cached in the plan's non-persisted scratch dict, so
+        repeated dispatch through the same backend pays nothing.
         """
-        if "indptr" not in self._scratch:
-            indptr = None
-            if (
-                _csr_kernels is not None
-                and self.cols.dtype == np.dtype(np.int32)
-                and self.vals.dtype == np.dtype(np.float64)
-            ):
-                indptr = np.zeros(self.shape[0] + 1, dtype=np.int32)
-                indptr[self.seg_rows.astype(np.intp) + 1] = (
-                    self._seg_counts().astype(np.int32)
-                )
-                np.cumsum(indptr, out=indptr)
-            self._scratch["indptr"] = indptr
-        return self._scratch["indptr"]
+        key = f"backend::{engine.name}"
+        state = self._scratch.get(key)
+        if state is None:
+            state = engine.prepare(self)
+            self._scratch[key] = state
+        return state
 
     # ------------------------------------------------------------------
     # sharding
@@ -903,29 +835,38 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
 
     def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
-             jobs: Optional[int] = None) -> np.ndarray:
+             jobs: Optional[int] = None,
+             backend: Union[None, str, ExecutionBackend] = None,
+             ) -> np.ndarray:
         """Execute ``y = A @ x + y`` through the compiled plan.
 
         ``jobs=None`` lets the slots-per-worker heuristic decide
         (serial below ~8M slots); ``jobs=N`` forces N row-block shards
-        on the shared thread pool.  Every choice is bitwise identical:
-        shards write disjoint rows and every segment accumulates
+        on the shared thread pool.  ``backend`` names the kernel engine
+        (``None``/``"auto"`` negotiates the best capable one).  Every
+        choice is bitwise identical: shards write disjoint rows and
+        every float64-claiming backend accumulates each segment
         left-to-right in the same order.
         """
+        engine = resolve_backend(backend, plan=self, op="spmv")
         x = np.ascontiguousarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
             raise ValueError(
                 f"x of shape {x.shape} incompatible with {self.shape}"
             )
         out = np.zeros(self.shape[0], dtype=np.float64)
+        state = self._backend_state(engine)
         jobs_eff = self._auto_jobs() if jobs is None else int(jobs)
         shards = self.shard_bounds(jobs_eff)
         if len(shards) == 1:
-            self._run_shard(out, x, 0, self.n_segments)
+            self._run_shard(engine, state, out, x, 0,
+                            self.n_segments)
         else:
             pool = _pool()
             _join_shards([
-                pool.submit(self._run_shard, out, x, lo, hi)
+                pool.submit(
+                    self._run_shard, engine, state, out, x, lo, hi
+                )
                 for lo, hi in shards
             ])
         if y is not None:
@@ -937,45 +878,28 @@ class ExecutionPlan:
             out += y
         return out
 
-    def _run_shard(self, out: np.ndarray, x: np.ndarray, lo: int,
+    def _run_shard(self, engine: ExecutionBackend, state: Any,
+                   out: np.ndarray, x: np.ndarray, lo: int,
                    hi: int) -> None:
-        """Gather + segment-reduce segments ``[lo, hi)`` into ``out``."""
+        """Dispatch segments ``[lo, hi)`` to the engine's spmv kernel.
+
+        The backend-independent shard envelope: the fault hook fires
+        for every backend, empty shards return before any kernel runs,
+        and the engine sees only ``lo < hi``.
+        """
         hook = _SHARD_HOOK
         if hook is not None:
             hook(lo, hi)
         if lo >= hi:
             return
-        r0 = int(self.seg_rows[lo])
-        r1 = int(self.seg_rows[hi - 1]) + 1
-        indptr = self._csr_indptr()
-        if indptr is not None:
-            # Compact fast path: scipy's compiled CSR matvec consumes
-            # the int32 arrays in place and accumulates each row
-            # sequentially — the exact order of the portable kernel.
-            _csr_kernels.csr_matvec(
-                r1 - r0, self.shape[1], indptr[r0:], self.cols,
-                self.vals, x, out[r0:r1],
-            )
-            return
-        s0 = int(self.seg_starts[lo])
-        s1 = (
-            int(self.seg_starts[hi])
-            if hi < self.n_segments
-            else self.n_slots
-        )
-        gathered = np.take(x, self._cols_intp()[s0:s1])
-        gathered *= self.vals[s0:s1]
-        seg = self._slot_rows()[s0:s1]
-        if r0:
-            seg = seg - r0
-        out[r0:r1] = np.bincount(
-            seg, weights=gathered, minlength=r1 - r0
-        )
+        engine.spmv(self, state, x, out, lo, hi)
 
     def spmm(self, x_block: np.ndarray,
              y_block: Optional[np.ndarray] = None,
              jobs: Optional[int] = None,
-             block_size: Optional[int] = None) -> np.ndarray:
+             block_size: Optional[int] = None,
+             backend: Union[None, str, ExecutionBackend] = None,
+             ) -> np.ndarray:
         """Execute ``Y = A @ X + Y`` reusing the plan across vectors.
 
         Vectors are processed in blocks (bounding scratch memory at
@@ -986,14 +910,41 @@ class ExecutionPlan:
         independent of ``jobs`` and bitwise column-equal to the
         unbatched engine.
         """
+        engine = resolve_backend(backend, plan=self, op="spmm")
         x_block = np.ascontiguousarray(x_block, dtype=np.float64)
         if x_block.ndim != 2 or x_block.shape[0] != self.shape[1]:
             raise ValueError(
                 f"X of shape {x_block.shape} incompatible with "
                 f"{self.shape}"
             )
+        out = self._blocked_dispatch(
+            engine, engine.spmm, x_block, jobs, block_size
+        )
+        if y_block is not None:
+            y_block = np.asarray(y_block, dtype=np.float64)
+            if y_block.shape != out.shape:
+                raise ValueError(
+                    f"Y of shape {y_block.shape} incompatible with "
+                    f"{out.shape}"
+                )
+            out += y_block
+        return out
+
+    def _blocked_dispatch(self, engine: ExecutionBackend,
+                          kernel: Any, x_block: np.ndarray,
+                          jobs: Optional[int],
+                          block_size: Optional[int]) -> np.ndarray:
+        """Shared block/shard driver for the multi-vector entry points.
+
+        Slices the ``(ncols, n_vectors)`` input into contiguous vector
+        blocks, shards each block on the segment grid, and routes every
+        (block, shard) pair through ``kernel`` — the resolved engine's
+        bound ``spmm`` or ``spmv_batch`` method — via the
+        :meth:`_reduce_block` envelope (fault hook, empty-shard skip).
+        """
         n_vectors = x_block.shape[1]
         out = np.zeros((self.shape[0], n_vectors), dtype=np.float64)
+        state = self._backend_state(engine)
         if block_size is None:
             block_size = max(
                 1, SPMM_BLOCK_ELEMS // max(self.n_slots, 1)
@@ -1006,79 +957,52 @@ class ExecutionPlan:
             # Contiguity only: x_block's dtype was pinned at entry.
             xb = np.ascontiguousarray(x_block[:, j0:j1])  # lint: allow(exec.implicit-dtype)
             if len(shards) == 1:
-                self._reduce_block(out, xb, j0, j1, 0,
-                                   self.n_segments)
+                self._reduce_block(kernel, state, out, xb, j0, j1,
+                                   0, self.n_segments)
             else:
                 pool = _pool()
                 _join_shards([
                     pool.submit(
-                        self._reduce_block, out, xb, j0, j1, lo, hi
+                        self._reduce_block, kernel, state, out, xb,
+                        j0, j1, lo, hi
                     )
                     for lo, hi in shards
                 ])
-        if y_block is not None:
-            y_block = np.asarray(y_block, dtype=np.float64)
-            if y_block.shape != out.shape:
-                raise ValueError(
-                    f"Y of shape {y_block.shape} incompatible with "
-                    f"{(self.shape[0], n_vectors)}"
-                )
-            out += y_block
         return out
 
-    def _reduce_block(self, out: np.ndarray, xb: np.ndarray,
-                      j0: int, j1: int, lo: int, hi: int) -> None:
-        """Gather + reduce one vector block for shard ``[lo, hi)``.
+    def _reduce_block(self, kernel: Any, state: Any, out: np.ndarray,
+                      xb: np.ndarray, j0: int, j1: int, lo: int,
+                      hi: int) -> None:
+        """Dispatch one (vector block, shard) pair to ``kernel``.
 
         ``xb`` is the contiguous ``(ncols, j1 - j0)`` slice of the
-        input block; gathering happens inside the shard so the compact
-        fast path can stream the plan arrays directly.
+        input block.  Same backend-independent envelope as
+        :meth:`_run_shard`: fault hook first, empty shards never reach
+        a kernel.
         """
         hook = _SHARD_HOOK
         if hook is not None:
             hook(lo, hi)
         if lo >= hi:
             return
-        nb = j1 - j0
-        r0 = int(self.seg_rows[lo])
-        r1 = int(self.seg_rows[hi - 1]) + 1
-        indptr = self._csr_indptr()
-        if indptr is not None:
-            block = np.zeros((r1 - r0, nb), dtype=np.float64)
-            _csr_kernels.csr_matvecs(
-                r1 - r0, self.shape[1], nb, indptr[r0:], self.cols,
-                self.vals, xb.reshape(-1), block.reshape(-1),
-            )
-            out[r0:r1, j0:j1] = block
-            return
-        s0 = int(self.seg_starts[lo])
-        s1 = (
-            int(self.seg_starts[hi])
-            if hi < self.n_segments
-            else self.n_slots
-        )
-        gathered = xb[self._cols_intp()[s0:s1]]
-        gathered *= self.vals[s0:s1, None]
-        seg = self._slot_rows()[s0:s1]
-        if r0:
-            seg = seg - r0
-        block = np.empty((r1 - r0, nb), dtype=np.float64)
-        for j in range(nb):
-            block[:, j] = np.bincount(
-                seg, weights=gathered[:, j], minlength=r1 - r0
-            )
-        out[r0:r1, j0:j1] = block
+        kernel(self, state, xb, out, j0, j1, lo, hi)
 
     def spmv_batch(self, xs: np.ndarray,
                    jobs: Optional[int] = None,
-                   block_size: Optional[int] = None) -> np.ndarray:
+                   block_size: Optional[int] = None,
+                   backend: Union[None, str, ExecutionBackend] = None,
+                   ) -> np.ndarray:
         """Batched SpMV: ``(n_queries, ncols)`` → ``(n_queries, nrows)``.
 
-        Coalesces the queries into the blocked SpMM kernel so the plan
-        arrays are streamed once per vector block instead of once per
-        query; row ``i`` of the result is bitwise identical to
-        ``spmv(xs[i])``.
+        Coalesces the queries into the blocked multi-vector kernel so
+        the plan arrays are streamed once per vector block instead of
+        once per query; row ``i`` of the result is bitwise identical to
+        ``spmv(xs[i])``.  Backends may override
+        :meth:`~repro.exec.backends.base.ExecutionBackend.spmv_batch`
+        with a batch-specialized kernel (the default delegates to their
+        ``spmm``).
         """
+        engine = resolve_backend(backend, plan=self, op="spmv_batch")
         xs = np.asarray(xs, dtype=np.float64)
         if xs.ndim != 2 or xs.shape[1] != self.shape[1]:
             raise ValueError(
@@ -1087,8 +1011,11 @@ class ExecutionPlan:
             )
         if xs.shape[0] == 0:
             return np.zeros((0, self.shape[0]), dtype=np.float64)
-        # Contiguity only on both transposes: spmm pins the value
-        # dtype itself and yt already carries the output dtype.
-        yt = self.spmm(np.ascontiguousarray(xs.T),  # lint: allow(exec.implicit-dtype)
-                       jobs=jobs, block_size=block_size)
+        # Contiguity only on both transposes: the dispatch pins the
+        # value dtype itself and yt already carries the output dtype.
+        yt = self._blocked_dispatch(
+            engine, engine.spmv_batch,
+            np.ascontiguousarray(xs.T),  # lint: allow(exec.implicit-dtype)
+            jobs, block_size,
+        )
         return np.ascontiguousarray(yt.T)  # lint: allow(exec.implicit-dtype)

@@ -28,17 +28,20 @@ from repro.hw.perf_model import assign_tiles, perf_breakdown
 def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
              y: Optional[np.ndarray] = None,
              jobs: Optional[int] = None,
-             guard: Optional[Any] = None):
+             guard: Optional[Any] = None,
+             backend: Optional[str] = None):
     """Vectorized equivalent of :meth:`SpasmAccelerator.run`.
 
     The numeric result runs through the matrix's compiled
     :class:`~repro.exec.plan.ExecutionPlan` (built lazily, cached on
-    the matrix, ``jobs`` shards on a thread pool); repeated simulations
-    of the same matrix never re-expand the stream.  With ``guard`` (an
-    :class:`~repro.resilience.guard.ExecutionGuard` built for this
-    matrix), execution instead goes through the guarded layer —
-    integrity validation, sampled divergence checks and automatic
-    fallback; the clean path stays bitwise identical.
+    the matrix, ``jobs`` shards on a thread pool, ``backend`` naming
+    the kernel engine); repeated simulations of the same matrix never
+    re-expand the stream.  ``guard=True`` routes the call through a
+    one-shot :func:`~repro.resilience.guard.guarded_spmv` (integrity
+    validation, sampled divergence checks, automatic fallback); a
+    prebuilt :class:`~repro.resilience.guard.ExecutionGuard` for this
+    matrix amortizes that machinery across calls.  The clean path
+    stays bitwise identical in every mode.
     """
     from repro.hw.accelerator import SimResult
 
@@ -57,14 +60,20 @@ def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
             )
 
     # Numeric result: compiled execution of the format (exact).
-    if guard is not None:
+    if guard is True:
+        from repro.resilience.guard import guarded_spmv
+
+        y_out = guarded_spmv(spasm, x, y_out, jobs=jobs,
+                             backend=backend)
+    elif guard is not None:
         if guard.spasm is not spasm:
             raise ValueError(
                 "guard was built for a different matrix instance"
             )
         y_out = guard.spmv(x, y_out, jobs=jobs)
     else:
-        y_out = spasm.plan().spmv(x, y_out, jobs=jobs)
+        y_out = spasm.plan().spmv(x, y_out, jobs=jobs,
+                                  backend=backend)
 
     # Schedule and per-PE accounting, mirroring the event simulator.
     groups_per_tile = spasm.groups_per_tile()
@@ -94,13 +103,16 @@ def fast_run(spasm: SpasmMatrix, config: HwConfig, x: np.ndarray,
 
 def fast_run_batch(spasm: SpasmMatrix, config: HwConfig,
                    xs: np.ndarray, jobs: Optional[int] = None,
-                   guard: Optional[Any] = None):
+                   guard: Optional[Any] = None,
+                   backend: Optional[str] = None):
     """Vectorized batched simulation: one query per row of ``xs``.
 
     The numeric result runs through the plan's blocked SpMM engine
-    (:meth:`~repro.exec.plan.ExecutionPlan.spmv_batch`), bitwise equal
-    to ``n_queries`` independent :func:`fast_run` calls; with
-    ``guard`` it goes through
+    (:meth:`~repro.exec.plan.ExecutionPlan.spmv_batch`) on the chosen
+    ``backend``, bitwise equal to ``n_queries`` independent
+    :func:`fast_run` calls; with ``guard`` (a prebuilt
+    :class:`~repro.resilience.guard.ExecutionGuard`, or ``True`` for a
+    transient one) it goes through
     :meth:`~repro.resilience.guard.ExecutionGuard.spmv_batch` instead.
     Cycle and HBM accounting amortize the A-stream read over the batch
     the way :meth:`SpasmAccelerator.run_spmm` does — the returned
@@ -116,14 +128,20 @@ def fast_run_batch(spasm: SpasmMatrix, config: HwConfig,
             f"xs of shape {xs.shape} incompatible with {spasm.shape};"
             f" expected (n_queries, {spasm.shape[1]})"
         )
-    if guard is not None:
+    if guard is True:
+        from repro.resilience.guard import ExecutionGuard
+
+        ys = ExecutionGuard(
+            spasm, backend=backend
+        ).spmv_batch(xs, jobs=jobs)
+    elif guard is not None:
         if guard.spasm is not spasm:
             raise ValueError(
                 "guard was built for a different matrix instance"
             )
         ys = guard.spmv_batch(xs, jobs=jobs)
     else:
-        ys = spasm.spmv_batch(xs, jobs=jobs)
+        ys = spasm.spmv_batch(xs, jobs=jobs, backend=backend)
 
     n_queries = int(xs.shape[0])
     groups_per_tile = spasm.groups_per_tile()

@@ -540,10 +540,14 @@ class PlanPass(CompilerPass):
     Builds the encoded matrix's
     :class:`~repro.exec.plan.ExecutionPlan` (expand once, drop padding,
     sort by output row, precompute segment boundaries) so the program
-    ships ready for gather + segment-reduce execution.  Cache entries
-    are keyed through the normal chain key but additionally carry the
-    stream digest — a stale entry (any stored array changed) is
-    rejected and recompiled.
+    ships ready for gather + segment-reduce execution.  ``backend``
+    pins the kernel engine the plan will dispatch on (``None``
+    negotiates); the pass resolves it against the built plan so an
+    incapable pinning fails at compile time, not first dispatch.
+    Cache entries are keyed through the normal chain key — which
+    includes the backend knob via :meth:`config_fingerprint` — and
+    additionally carry the stream digest; a stale entry (any stored
+    array changed) is rejected and recompiled.
     """
 
     name = "plan"
@@ -551,13 +555,22 @@ class PlanPass(CompilerPass):
     provides = ("plan",)
     cacheable = True
 
+    def __init__(self, backend: Optional[str] = None):
+        self.backend = backend
+
+    def config_fingerprint(self) -> str:
+        return fingerprint({"backend": self.backend})
+
     def run(self, store: ArtifactStore) -> str:
+        from repro.exec.backends import resolve_backend
+
         spasm = store.require("spasm")
         # Reuses the plan the fused EncodePass attached (digest-checked
         # inside SpasmMatrix.plan), compiling only when absent.
         plan = spasm.plan()
+        engine = resolve_backend(self.backend, plan=plan, op="spmv")
         store.put("plan", plan)
-        return plan.describe()
+        return f"{plan.describe()}, backend={engine.name}"
 
     def to_cache(self, store: ArtifactStore):
         plan = store.require("plan")
@@ -621,12 +634,15 @@ class PlanPass(CompilerPass):
 class AnalyzePass(CompilerPass):
     """Opt-in symbolic safety proofs over the compiled plan.
 
-    Mounts :mod:`repro.analyze` as a pipeline stage: the five proof
+    Mounts :mod:`repro.analyze` as a pipeline stage: the six proof
     obligations (index-width safety, segment coverage, shard
-    race-freedom, memory-image bounds, policy consistency) are proved
-    by abstract interpretation — nothing is executed — and the
-    resulting :class:`~repro.analyze.symbolic.AnalysisReport` is stored
-    as the ``analyze_report`` artifact.  Any refuted obligation raises
+    race-freedom, memory-image bounds, policy consistency, backend
+    capability) are proved by abstract interpretation — nothing is
+    executed — and the resulting
+    :class:`~repro.analyze.symbolic.AnalysisReport` is stored as the
+    ``analyze_report`` artifact.  ``backend`` pins the engine the
+    backend-capability obligation quantifies over (and keys the
+    cache).  Any refuted obligation raises
     :class:`~repro.core.format.FormatError` with the pinpointed
     witness.  Proofs are content-addressed alongside the plan they
     certify: a cache entry carries the plan checksum and is rejected
@@ -638,12 +654,19 @@ class AnalyzePass(CompilerPass):
     provides = ("analyze_report",)
     cacheable = True
 
+    def __init__(self, backend: Optional[str] = None):
+        self.backend = backend
+
+    def config_fingerprint(self) -> str:
+        return fingerprint({"backend": self.backend})
+
     def run(self, store: ArtifactStore) -> str:
         from repro.analyze.symbolic import analyze_plan
         from repro.core.format import FormatError
 
         report = analyze_plan(
-            store.require("plan"), spasm=store.get("spasm")
+            store.require("plan"), spasm=store.get("spasm"),
+            backend=self.backend,
         )
         if report.refuted:
             raise FormatError(

@@ -48,7 +48,8 @@ class FaultRecord:
     ----------
     surface:
         Which layer was hit: ``stream``, ``value``, ``plan``,
-        ``cache``, ``image`` or ``worker``.
+        ``backend`` (a kernel backend's prepared scratch), ``cache``,
+        ``image`` or ``worker``.
     mode:
         The corruption applied (``bitflip``, ``truncate``, ``zero``,
         ``garbage``, ``kill``, ``stall``, ``delay``).
@@ -150,6 +151,49 @@ class FaultInjector:
             location=f"{name} byte {byte} bit {bit} "
                      f"({arr.dtype.name})",
             details={"array": name, "byte": byte, "bit": bit,
+                     "dtype": arr.dtype.name},
+        )
+
+    # -- backend-state faults ------------------------------------------
+
+    def flip_backend_state(self, plan: Any,
+                           backend: str) -> Optional[FaultRecord]:
+        """Flip one bit in a backend's *prepared* scratch arrays.
+
+        Backends upload per-plan device state at
+        :meth:`~repro.exec.backends.base.ExecutionBackend.prepare`
+        time (the CSR backend's dense row pointer, the gather
+        backend's widened index copies); this hits that prepared
+        surface rather than the plan's own arrays, modeling corruption
+        of scratch the guard's checksum never covers.  The prepared
+        state is materialized through the plan's memo
+        (so the flip lands in exactly the arrays a later dispatch
+        consumes) and cleared by ``plan._scratch.clear()``.  Returns
+        ``None`` when the backend exposes no byte-addressable state.
+        """
+        from repro.exec.backends import resolve_backend
+
+        engine = resolve_backend(backend, plan=plan, op="spmv")
+        arrays = engine.prepared_arrays(
+            plan._backend_state(engine)
+        )
+        candidates = sorted(
+            name for name, arr in arrays.items() if arr.size
+        )
+        if not candidates:
+            return None
+        name = candidates[int(self.rng.integers(0, len(candidates)))]
+        arr = arrays[name]
+        flat = arr.reshape(-1).view(np.uint8)
+        byte = int(self.rng.integers(0, flat.size))
+        bit = int(self.rng.integers(0, 8))
+        flat[byte] ^= np.uint8(1 << bit)
+        return FaultRecord(
+            surface="backend", mode="bitflip",
+            location=f"{engine.name}:{name} byte {byte} bit {bit} "
+                     f"({arr.dtype.name})",
+            details={"backend": engine.name, "array": name,
+                     "byte": byte, "bit": bit,
                      "dtype": arr.dtype.name},
         )
 

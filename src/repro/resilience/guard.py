@@ -72,6 +72,9 @@ class ResilienceEvent:
         ``fallback``, ``raise``, ``none``).
     attempt:
         1-based acquisition attempt the event occurred on.
+    backend:
+        Name of the kernel backend involved (``""`` when the incident
+        precedes backend resolution, e.g. stream/plan surfaces).
     """
 
     kind: str
@@ -79,14 +82,16 @@ class ResilienceEvent:
     detail: str
     action: str = "none"
     attempt: int = 0
+    backend: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
     def render(self) -> str:
         suffix = f" (attempt {self.attempt})" if self.attempt else ""
+        via = f" [{self.backend}]" if self.backend else ""
         return (f"{self.kind:10s} {self.surface:7s} -> "
-                f"{self.action}{suffix}: {self.detail}")
+                f"{self.action}{suffix}{via}: {self.detail}")
 
 
 class ResilienceLog:
@@ -216,19 +221,25 @@ class ExecutionGuard:
         otherwise (exposed as :attr:`log`).
     seed:
         Seed of the divergence guard's row sampler.
+    backend:
+        Kernel backend every guarded dispatch runs on (``None``
+        negotiates per plan); incidents on the worker/output surfaces
+        name the resolved backend in their events.
     """
 
     def __init__(self, spasm: Any,
                  config: Optional[GuardConfig] = None,
                  cache: Any = None,
                  log: Optional[ResilienceLog] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 backend: Optional[str] = None):
         from repro.exec.plan import stream_digest
 
         self.spasm = spasm
         self.config = config or GuardConfig()
         self.cache = cache
         self.log = log or ResilienceLog()
+        self.backend = backend
         self.expected_digest = stream_digest(spasm)
         self._rng = np.random.default_rng(seed)
         self._oracle: Optional[RowOracle] = None
@@ -239,6 +250,19 @@ class ExecutionGuard:
 
     def _due(self, interval: int) -> bool:
         return bool(interval) and self._calls % interval == 0
+
+    def _engine_name(self, plan: Any, op: str) -> str:
+        """Name of the backend a dispatch resolved (for event labels).
+
+        Falls back to the configured name when resolution itself fails
+        — the event should still say which engine was being asked for.
+        """
+        from repro.exec.backends import resolve_backend
+
+        try:
+            return resolve_backend(self.backend, plan=plan, op=op).name
+        except Exception:
+            return str(self.backend or "auto")
 
     def _oracle_rows(self) -> np.ndarray:
         nrows = int(self.spasm.shape[0])
@@ -311,7 +335,9 @@ class ExecutionGuard:
         if fresh and self.config.static_analysis:
             from repro.analyze.symbolic import analyze_plan
 
-            report = analyze_plan(plan, spasm=self.spasm)
+            report = analyze_plan(
+                plan, spasm=self.spasm, backend=self.backend
+            )
             if report.refuted:
                 self.log.record(ResilienceEvent(
                     kind="detect", surface="plan", action="rebuild",
@@ -330,7 +356,7 @@ class ExecutionGuard:
                         ) -> Optional[np.ndarray]:
         """Run the plan and cross-check sampled rows; ``None`` on a
         divergence (the plan is dropped for rebuild)."""
-        out = plan.spmv(x, jobs=jobs)
+        out = plan.spmv(x, jobs=jobs, backend=self.backend)
         if self._due(self.config.check_interval):
             if self._oracle is None:
                 self._oracle = RowOracle.build(
@@ -341,6 +367,7 @@ class ExecutionGuard:
                 self.log.record(ResilienceEvent(
                     kind="detect", surface="output", action="rebuild",
                     attempt=attempt,
+                    backend=self._engine_name(plan, "spmv"),
                     detail=(
                         f"sampled rows {bad} diverge from the naive "
                         "oracle"
@@ -369,10 +396,11 @@ class ExecutionGuard:
         """Guarded ``y = A @ x + y``.
 
         Semantics match :meth:`ExecutionPlan.spmv` exactly on the
-        clean path (bitwise, including sharding determinism).  On a
-        detected fault the call recovers through rebuild/retry, then
-        the naive engine; it raises :class:`IntegrityError` only when
-        the pinned stream itself is corrupt.
+        clean path (bitwise, including sharding determinism; dispatch
+        runs on the guard's configured ``backend``).  On a detected
+        fault the call recovers through rebuild/retry, then the naive
+        engine; it raises :class:`IntegrityError` only when the pinned
+        stream itself is corrupt.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.spasm.shape[1],):
@@ -403,6 +431,7 @@ class ExecutionGuard:
                 self.log.record(ResilienceEvent(
                     kind="detect", surface="worker", action="retry",
                     attempt=attempt,
+                    backend=self._engine_name(plan, "spmv"),
                     detail=f"{type(exc).__name__}: {exc}",
                 ))
                 continue
@@ -412,6 +441,7 @@ class ExecutionGuard:
         if not self.config.fallback:
             self.log.record(ResilienceEvent(
                 kind="detect", surface="plan", action="raise",
+                backend=str(self.backend or "auto"),
                 detail="plan engine exhausted attempts, fallback "
                        "disabled",
             ))
@@ -422,6 +452,7 @@ class ExecutionGuard:
             )
         self.log.record(ResilienceEvent(
             kind="fallback", surface="plan", action="fallback",
+            backend=str(self.backend or "auto"),
             detail=(
                 f"plan engine failed {self.config.max_attempts} "
                 "attempts; executing through spmv_naive"
@@ -443,7 +474,8 @@ class ExecutionGuard:
             if plan is None:
                 continue
             try:
-                return plan.spmm(x_block, y_block=y_block, jobs=jobs)
+                return plan.spmm(x_block, y_block=y_block, jobs=jobs,
+                                 backend=self.backend)
             except IntegrityError:
                 raise
             except ValueError:
@@ -452,6 +484,7 @@ class ExecutionGuard:
                 self.log.record(ResilienceEvent(
                     kind="detect", surface="worker", action="retry",
                     attempt=attempt,
+                    backend=self._engine_name(plan, "spmm"),
                     detail=f"{type(exc).__name__}: {exc}",
                 ))
                 self._invalidate()
@@ -463,6 +496,7 @@ class ExecutionGuard:
             )
         self.log.record(ResilienceEvent(
             kind="fallback", surface="plan", action="fallback",
+            backend=str(self.backend or "auto"),
             detail="executing SpMM through spmm_naive",
         ))
         return self.spasm.spmm_naive(x_block, y_block)
@@ -501,7 +535,8 @@ class ExecutionGuard:
             if plan is None:
                 continue
             try:
-                out = plan.spmv_batch(xs, jobs=jobs)
+                out = plan.spmv_batch(xs, jobs=jobs,
+                                      backend=self.backend)
             except IntegrityError:
                 raise
             except ValueError:
@@ -510,6 +545,7 @@ class ExecutionGuard:
                 self.log.record(ResilienceEvent(
                     kind="detect", surface="worker", action="retry",
                     attempt=attempt,
+                    backend=self._engine_name(plan, "spmv_batch"),
                     detail=f"{type(exc).__name__}: {exc}",
                 ))
                 self._invalidate()
@@ -524,6 +560,7 @@ class ExecutionGuard:
                     self.log.record(ResilienceEvent(
                         kind="detect", surface="output",
                         action="rebuild", attempt=attempt,
+                        backend=self._engine_name(plan, "spmv_batch"),
                         detail=(
                             f"sampled rows {bad} of batch query 0 "
                             "diverge from the naive oracle"
@@ -535,6 +572,7 @@ class ExecutionGuard:
         if not self.config.fallback:
             self.log.record(ResilienceEvent(
                 kind="detect", surface="plan", action="raise",
+                backend=str(self.backend or "auto"),
                 detail="plan engine exhausted attempts, fallback "
                        "disabled",
             ))
@@ -545,6 +583,7 @@ class ExecutionGuard:
             )
         self.log.record(ResilienceEvent(
             kind="fallback", surface="plan", action="fallback",
+            backend=str(self.backend or "auto"),
             detail=(
                 f"plan engine failed {self.config.max_attempts} "
                 "attempts; executing the batch through spmv_naive"
@@ -562,12 +601,13 @@ def guarded_spmv(spasm: Any, x: np.ndarray,
                  jobs: Optional[int] = None,
                  config: Optional[GuardConfig] = None,
                  cache: Any = None,
-                 log: Optional[ResilienceLog] = None) -> np.ndarray:
+                 log: Optional[ResilienceLog] = None,
+                 backend: Optional[str] = None) -> np.ndarray:
     """One-shot guarded SpMV (constructs a transient guard).
 
     Hot loops should hold an :class:`ExecutionGuard` instead — the
     guard's pinning and oracle construction amortize across calls.
     """
     return ExecutionGuard(
-        spasm, config=config, cache=cache, log=log
+        spasm, config=config, cache=cache, log=log, backend=backend
     ).spmv(x, y=y, jobs=jobs)

@@ -1,6 +1,6 @@
 """Symbolic proof obligations surfaced as verify rules.
 
-:mod:`repro.analyze.symbolic` proves five safety obligations over a
+:mod:`repro.analyze.symbolic` proves six safety obligations over a
 compiled :class:`~repro.exec.plan.ExecutionPlan` by abstract
 interpretation — no SpMV is executed.  These rules adapt each
 obligation to the :mod:`repro.verify` rule framework so refuted proofs
@@ -116,3 +116,16 @@ class AnalyzePolicy(_ObligationRule):
         from repro.analyze.symbolic import check_policy_consistency
 
         return check_policy_consistency(ctx.plan)
+
+
+@register
+class AnalyzeBackend(_ObligationRule):
+    rule_id = "analyze.backend"
+    title = ("symbolic proof: every dispatchable op resolves inside "
+             "a registered backend's declared capability envelope")
+    paper = "software step ⑥ (pluggable kernel backends)"
+
+    def obligation(self, ctx: VerifyContext) -> Any:
+        from repro.analyze.symbolic import check_backend_capability
+
+        return check_backend_capability(ctx.plan)

@@ -1,7 +1,7 @@
 """Tests for the symbolic static-analysis subsystem (``repro.analyze``).
 
 Three layers are exercised: the pure symbolic certificate (boundary
-behaviour at the int32 capacity, via hypothesis), the five obligation
+behaviour at the int32 capacity, via hypothesis), the six obligation
 checkers over real compiled plans (clean proofs and fault-injected
 refutations with pinpointed witnesses), and the integration surfaces —
 ``analyze.*`` verify rules, the cacheable :class:`AnalyzePass`, the
@@ -81,7 +81,7 @@ def with_checksum(plan):
 
 
 class TestCleanProofs:
-    def test_all_five_obligations_proved(self, clean_report):
+    def test_all_six_obligations_proved(self, clean_report):
         assert [
             o.obligation_id for o in clean_report.obligations
         ] == list(OBLIGATION_IDS)
@@ -106,7 +106,7 @@ class TestCleanProofs:
         assert report.ok  # skipped is not refuted
 
     def test_summary_and_render(self, clean_report):
-        assert "5 obligations for stormG2_1000" in clean_report.summary()
+        assert "6 obligations for stormG2_1000" in clean_report.summary()
         text = clean_report.render()
         assert "PROVED" in text and "coverage" in text
 
@@ -357,6 +357,7 @@ class TestVerifyIntegration:
         assert ids == {
             "analyze.index_width", "analyze.coverage",
             "analyze.shards", "analyze.image", "analyze.policy",
+            "analyze.backend",
         }
 
 

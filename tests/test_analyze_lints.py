@@ -194,7 +194,49 @@ class TestRawKernel:
 
             def dispatch(args):
                 return _sparsetools.csr_matvec(*args)
-        """, relpath="repro/exec/plan.py") == []
+        """, relpath="repro/exec/backends/csr.py") == []
+
+    def test_plan_module_no_longer_sanctioned(self):
+        """The backend split moved the kernel sanction off plan.py."""
+        findings = lint("""
+            from scipy.sparse import _sparsetools
+
+            def dispatch(args):
+                return _sparsetools.csr_matvec(*args)
+        """, relpath="repro/exec/plan.py")
+        assert "exec.raw-kernel" in ids(findings)
+
+
+class TestPlanKernel:
+    PLAN = "repro/exec/plan.py"
+
+    def test_kernel_math_in_plan_module_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def dispatch(plan, x):
+                gathered = np.take(x, plan.cols)
+                return np.bincount(plan.rows, weights=gathered)
+        """, relpath=self.PLAN)
+        assert ids(findings) == ["exec.plan-kernel"] * 2
+        assert "belong to a backend" in findings[0].message
+
+    def test_model_numpy_in_plan_module_clean(self):
+        assert lint("""
+            import numpy as np
+
+            def shard_bounds(n, jobs):
+                return np.zeros(jobs + 1, dtype=np.int64), n
+        """, relpath=self.PLAN) == []
+
+    def test_backend_modules_not_checked(self):
+        assert lint("""
+            import numpy as np
+
+            def spmv(plan, x):
+                gathered = np.take(x, plan.cols)
+                return np.bincount(plan.rows, weights=gathered)
+        """, relpath="repro/exec/backends/gather.py") == []
 
 
 class TestSuppression:

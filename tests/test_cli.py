@@ -115,7 +115,7 @@ class TestAnalyzeProofs:
         assert "PROVED" in out and "REFUTED" not in out
         assert "all proof obligations hold" in out
 
-    def test_proofs_json_has_five_obligations(self, capsys):
+    def test_proofs_json_has_six_obligations(self, capsys):
         assert main([
             "analyze", "t2em", "--proofs", "--scale", "0.2",
             "--json",
@@ -127,7 +127,8 @@ class TestAnalyzeProofs:
         assert report["matrix"] == "t2em"
         assert [
             o["obligation"] for o in report["obligations"]
-        ] == ["index_width", "coverage", "shards", "image", "policy"]
+        ] == ["index_width", "coverage", "shards", "image", "policy",
+              "backend"]
         assert all(
             o["status"] == "proved" for o in report["obligations"]
         )
@@ -170,6 +171,63 @@ class TestRunReorder:
             "run", "stormG2_1000", "--scale", "0.5", "--repeat", "1",
         ]) == 0
         assert "reorder:" not in capsys.readouterr().out
+
+
+class TestBackendsCommand:
+    def test_table_lists_every_registered_backend(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered kernel backends" in out
+        for name in ("csr", "numba", "gather"):
+            assert name in out
+        assert "spmv, spmm, spmv_batch" in out
+
+    def test_json_payload_in_negotiation_order(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [b["name"] for b in payload] == [
+            "csr", "numba", "gather",
+        ]
+        gather = payload[-1]
+        assert gather["available"] is True
+        assert gather["requires"] is None
+        assert gather["capabilities"]["ops"] == [
+            "spmv", "spmm", "spmv_batch",
+        ]
+        for backend in payload:
+            if not backend["available"]:
+                assert backend["requires"]
+
+    def test_run_with_explicit_backend(self, capsys):
+        assert main([
+            "run", "t2em", "--scale", "0.2", "--repeat", "1",
+            "--backend", "gather",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=gather, explicit" in out
+        assert "plan vs naive engines agree" in out
+
+    def test_run_auto_reports_resolved_backend(self, capsys):
+        assert main([
+            "run", "t2em", "--scale", "0.2", "--repeat", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=" in out and "explicit" not in out
+
+    def test_run_unknown_backend_exits_1(self, capsys):
+        assert main([
+            "run", "t2em", "--scale", "0.2", "--repeat", "1",
+            "--backend", "nope",
+        ]) == 1
+        assert "unknown execution backend" in capsys.readouterr().err
+
+    def test_run_naive_engine_rejects_backend(self, capsys):
+        assert main([
+            "run", "t2em", "--scale", "0.2", "--repeat", "1",
+            "--engine", "naive", "--backend", "gather",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "no kernel backend" in err
 
 
 class TestEncodeSpmv:

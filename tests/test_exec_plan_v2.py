@@ -242,9 +242,11 @@ class TestCompactLayouts:
         reason="scipy CSR kernels not present",
     )
     def test_csr_and_portable_kernels_bitwise(self, rng):
-        # int32/float64 dispatches to the scipy CSR kernel; forcing
-        # the kernels away exercises the portable bincount path on
-        # the same plan.  Both must agree bitwise.
+        # int32/float64 auto-negotiates to the scipy CSR backend;
+        # forcing the kernels away exercises the portable gather
+        # backend on the same plan.  Both must agree bitwise.
+        from repro.exec.backends import csr as csr_mod
+
         coo = integer_coo(rng, 96, "mixed")
         spasm = encode(coo)
         x = rng.integers(0, 5, size=coo.shape[1]).astype(np.float64)
@@ -254,8 +256,8 @@ class TestCompactLayouts:
         csr_plan = ExecutionPlan.build(spasm)
         y_csr = csr_plan.spmv(x)
         ys_csr = csr_plan.spmv_batch(xs)
-        saved = plan_mod._csr_kernels
-        plan_mod._csr_kernels = None
+        saved = csr_mod._csr_kernels
+        csr_mod._csr_kernels = None
         try:
             portable_plan = ExecutionPlan.build(spasm)
             assert np.array_equal(portable_plan.spmv(x), y_csr)
@@ -263,7 +265,7 @@ class TestCompactLayouts:
                 portable_plan.spmv_batch(xs), ys_csr
             )
         finally:
-            plan_mod._csr_kernels = saved
+            csr_mod._csr_kernels = saved
         # The build paths themselves must also agree bitwise: with
         # scipy the row sort is coo_tocsr's counting sort, without it
         # the portable stable argsort — same plan either way.
