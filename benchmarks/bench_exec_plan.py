@@ -21,7 +21,11 @@ blocks, scale-free graph):
 * ``backends`` — a per-backend sweep over every available registered
   kernel backend that claims the canonical plan, each gated
   **bitwise** against the ``gather`` reference, with
-  ``backend_auto`` recording what negotiation resolved.
+  ``backend_auto`` recording what negotiation resolved;
+* ``tuned`` — the per-matrix autotuned configuration
+  (``repro.tune``) against the default plan dispatch: spmv latency,
+  batch queries/s and the winning knobs, gated bitwise at every
+  scale and never-slower-than-default at timing-gate scale.
 
 Every float64 engine must agree with the naive reference **bitwise**
 (``agree``); float32 is checked to tolerance (``agree_float32``).  Any
@@ -52,6 +56,7 @@ from repro.exec import (
 )
 from repro.resilience import ExecutionGuard
 from repro.synth import load_workload
+from repro.tune import tune_matrix
 
 #: (workload, base scale): tmt_sym crosses 1e6 nnz — the acceptance
 #: headline; the other two cover dense-block and scale-free structure.
@@ -196,6 +201,24 @@ def measure(name, scale):
         }
     backend_auto = resolve_backend(None, plan=plan, op="spmv").name
 
+    # Per-matrix autotuned configuration vs the default dispatch.
+    tune_result = tune_matrix(coo, repeats=2)
+    cfg = tune_result.config
+    executor = spasm.apply_tuned(cfg)
+    tuned_agree = bool(
+        np.array_equal(executor.spmv(x), reference)
+        and np.array_equal(executor.spmv_batch(xs), batch_ref)
+    )
+    tuned_s, tuned_default_s = best_of_pair(
+        lambda: executor.spmv(x),
+        lambda: plan.spmv(x),
+    )
+    tuned_batch_s, default_batch_s = best_of_pair(
+        lambda: executor.spmv_batch(xs),
+        lambda: plan.spmv_batch(xs),
+    )
+    spasm.apply_tuned(None)
+
     return {
         "matrix": name,
         "scale": scale,
@@ -233,6 +256,23 @@ def measure(name, scale):
         "batch_qps": BATCH_QUERIES / batch_s,
         "backends": backends,
         "backend_auto": backend_auto,
+        "tuned": {
+            "layout": cfg.layout,
+            "backend": cfg.backend,
+            "jobs": cfg.jobs,
+            "portfolio": cfg.portfolio,
+            "tile_size": cfg.tile_size,
+            "batch_block": cfg.batch_block,
+            "structure_bitwise": cfg.structure_bitwise,
+            "candidates_total": cfg.candidates_total,
+            "candidates_measured": cfg.candidates_measured,
+            "spmv_ms": tuned_s * 1e3,
+            "default_spmv_ms": tuned_default_s * 1e3,
+            "batch_qps": BATCH_QUERIES / tuned_batch_s,
+            "default_batch_qps": BATCH_QUERIES / default_batch_s,
+            "speedup": tuned_default_s / tuned_s,
+            "agree": tuned_agree,
+        },
         "speedup": naive_s / i32_s,
         "int32_vs_int64": i64_s / i32_s,
         "agree": agree,
@@ -252,11 +292,12 @@ def test_exec_plan_speedup(benchmark):
 
     table = format_table(
         ["matrix", "nnz", "naive ms", "i64 ms", "i32 ms",
-         "fused build ms", "auto ms", "batch q/s", "backend",
-         "agree"],
+         "tuned ms", "fused build ms", "auto ms", "batch q/s",
+         "backend", "agree"],
         [
             [r["matrix"], r["nnz"], r["spmv_ms"]["naive"],
              r["spmv_ms"]["int64"], r["spmv_ms"]["int32"],
+             r["tuned"]["spmv_ms"],
              r["build_ms"]["fused"], r["sharded_ms"]["auto"],
              r["batch_qps"], r["backend_auto"],
              "yes" if r["agree"] else "NO"]
@@ -309,6 +350,12 @@ def test_exec_plan_speedup(benchmark):
                 f"{r['matrix']}: backend {name!r} diverges bitwise "
                 "from the gather reference"
             )
+        # The tuned executor is a dispatch optimization, never a
+        # numeric change: bitwise at every scale.
+        assert r["tuned"]["agree"], (
+            f"{r['matrix']}: tuned executor diverges bitwise from "
+            "the naive reference"
+        )
     # Timing gates apply at >=1e6 nnz (smoke runs stay noise-immune).
     for r in results:
         if r["nnz"] < 1_000_000:
@@ -335,4 +382,13 @@ def test_exec_plan_speedup(benchmark):
             f"{r['matrix']}: auto sharding "
             f"{r['sharded_ms']['auto']:.2f} ms slower than "
             f"single-thread {r['spmv_ms']['int32']:.2f} ms"
+        )
+        # Tuning must never regress the default dispatch.
+        assert (
+            r["tuned"]["spmv_ms"]
+            <= r["tuned"]["default_spmv_ms"] * 1.10
+        ), (
+            f"{r['matrix']}: tuned spmv "
+            f"{r['tuned']['spmv_ms']:.2f} ms slower than default "
+            f"{r['tuned']['default_spmv_ms']:.2f} ms"
         )

@@ -341,6 +341,7 @@ def cmd_run(args) -> int:
     compact value layout and is checked to tolerance instead.  Any
     divergence exits 1.
     """
+    import json
     import time
 
     import numpy as np
@@ -353,12 +354,6 @@ def cmd_run(args) -> int:
         reorder = best_reordering(coo)
         gain = reorder_gain(coo, reorder)
         coo = reorder.matrix
-    compiler = make_compiler(args)
-    program = compiler.compile(coo)
-    spasm = program.spasm
-    write_trace(args, program)
-    rng = np.random.default_rng(args.seed)
-    x = rng.random(spasm.shape[1])
     # --jobs 0 selects the plan's automatic shard heuristic.
     jobs = args.jobs if args.jobs > 0 else None
     # --backend auto negotiates per plan layout (the default policy).
@@ -377,16 +372,59 @@ def cmd_run(args) -> int:
               "(the naive engine has no kernel backend)",
               file=sys.stderr)
         return 1
+    if args.tuned and args.engine != "plan":
+        print("error: --tuned requires --engine plan (the tuned "
+              "executor replaces the plan dispatch path)",
+              file=sys.stderr)
+        return 1
+    if args.tuned and (backend is not None
+                       or args.precision != "float64"):
+        print("error: --tuned conflicts with --backend/--precision "
+              "(the persisted record decides both)",
+              file=sys.stderr)
+        return 1
 
-    reference = spasm.spmv_naive(x)
-    if args.precision == "float32":
+    tuned_result = None
+    executor = None
+    if args.tuned:
+        from repro.pipeline.cache import ArtifactCache
+        from repro.tune import tune_matrix
+
+        tune_cache = (
+            ArtifactCache(args.cache_dir) if args.cache_dir else None
+        )
+        tuned_result = tune_matrix(coo, cache=tune_cache,
+                                   seed=args.seed)
+        compiler = make_compiler(args)
+        compiler.tuned = tuned_result.config
+    else:
+        compiler = make_compiler(args)
+    program = compiler.compile(coo)
+    spasm = program.spasm
+    write_trace(args, program)
+    rng = np.random.default_rng(args.seed)
+    x = rng.random(spasm.shape[1])
+
+    precision = args.precision
+    if args.tuned:
+        tuned_cfg = tuned_result.config
+        executor = spasm.apply_tuned(tuned_cfg)
+        plan = executor.plan
+        precision = tuned_cfg.precision
+        jobs = executor.jobs
+    elif precision == "float32":
         from repro.exec.plan import ExecutionPlan
 
         plan = ExecutionPlan.build(spasm, precision="float32")
     else:
         plan = spasm.plan()
-    got = plan.spmv(x, jobs=jobs, backend=backend)
-    if args.precision == "float32":
+
+    reference = spasm.spmv_naive(x)
+    if executor is not None:
+        got = executor.spmv(x)
+    else:
+        got = plan.spmv(x, jobs=jobs, backend=backend)
+    if precision == "float32":
         agree = bool(np.allclose(got, reference,
                                  rtol=1e-5, atol=1e-8))
         check_note = "within float32 tolerance of naive"
@@ -409,7 +447,10 @@ def cmd_run(args) -> int:
             rng.random((args.batch, spasm.shape[1]))
         )
         batch_ref = np.stack([spasm.spmv_naive(row) for row in xs])
-        if args.engine == "plan":
+        if executor is not None:
+            def step():
+                return executor.spmv_batch(xs)
+        elif args.engine == "plan":
             def step():
                 return plan.spmv_batch(xs, jobs=jobs, backend=backend)
         elif args.engine == "guarded":
@@ -421,7 +462,7 @@ def cmd_run(args) -> int:
                     [spasm.spmv_naive(row) for row in xs]
                 )
         got_batch = step()
-        if args.precision == "float32":
+        if precision == "float32":
             batch_ok = bool(np.allclose(got_batch, batch_ref,
                                         rtol=1e-5, atol=1e-8))
         else:
@@ -430,6 +471,9 @@ def cmd_run(args) -> int:
             print("error: batched and per-query engines diverge",
                   file=sys.stderr)
             return 1
+    elif executor is not None:
+        def step():
+            return executor.spmv(x)
     elif args.engine == "plan":
         def step():
             return plan.spmv(x, jobs=jobs, backend=backend)
@@ -447,21 +491,83 @@ def cmd_run(args) -> int:
         times.append(time.perf_counter() - t0)
     best = min(times)
     flops = 2 * spasm.source_nnz + spasm.shape[0]
-    jobs_note = "auto" if jobs is None else str(jobs)
+
+    # The fully resolved configuration, auditable from scripts: what
+    # actually executed after every auto heuristic and tuning record
+    # had its say.
+    if args.engine == "naive":
+        backend_name = None
+        layout = "float64"
+        jobs_eff = 1
+    else:
+        from repro.exec import resolve_backend
+
+        if executor is not None:
+            backend_name = executor.backend_name
+            jobs_eff = executor.jobs
+        else:
+            backend_name = resolve_backend(backend, plan=plan,
+                                           op="spmv").name
+            jobs_eff = jobs if jobs is not None else plan._auto_jobs()
+        layout = f"{plan.cols.dtype.name}/{plan.vals.dtype.name}"
+    resolved = {
+        "engine": args.engine,
+        "backend": backend_name,
+        "backend_pinned": backend is not None,
+        "layout": layout,
+        "jobs": int(jobs_eff),
+        "jobs_auto": jobs is None,
+        "portfolio": program.portfolio.name,
+        "tile_size": program.tile_size,
+        "precision": precision,
+        "tuned": bool(args.tuned),
+    }
+
+    if args.json:
+        payload = {
+            "matrix": args.matrix,
+            "shape": list(spasm.shape),
+            "nnz": spasm.source_nnz,
+            "resolved": resolved,
+            "timing": {
+                "best_ms": best * 1e3,
+                "repeat": args.repeat,
+                "gflops": (args.batch or 1) * flops / best / 1e9,
+            },
+            "check": {"agree": True, "note": check_note},
+        }
+        if args.batch > 0:
+            payload["timing"]["batch_queries"] = args.batch
+            payload["timing"]["qps"] = args.batch / best
+        if reorder is not None:
+            payload["reorder"] = gain
+        if tuned_result is not None:
+            payload["tuned"] = tuned_result.config.as_dict()
+            payload["tuned_cache_hit"] = tuned_result.cache_hit
+        if guard is not None:
+            payload["guard_incidents"] = len(guard.log)
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    jobs_note = (f"auto({jobs_eff})" if jobs is None and not args.tuned
+                 else str(jobs_eff))
     print(f"matrix:   {args.matrix} shape={spasm.shape} "
           f"nnz={spasm.source_nnz}")
     if args.engine == "naive":
         print(f"engine:   {args.engine} (jobs={jobs_note})")
     else:
-        from repro.exec import resolve_backend
-
-        engine = resolve_backend(backend, plan=plan, op="spmv")
-        resolved = (
-            engine.name if backend is None
-            else f"{engine.name}, explicit"
-        )
+        note = "negotiated" if backend is None else "explicit"
+        if args.tuned:
+            note = "tuned"
         print(f"engine:   {args.engine} (jobs={jobs_note}, "
-              f"backend={resolved})")
+              f"backend={backend_name}, {note})")
+    if args.tuned:
+        cfg = tuned_result.config
+        source = "cache" if tuned_result.cache_hit else "fresh search"
+        print(f"tuned:    {cfg.layout} portfolio={cfg.portfolio} "
+              f"tile={cfg.tile_size} batch_block="
+              f"{cfg.batch_block or 'auto'} ({source}, recorded "
+              f"{cfg.speedup:.2f}x over default)")
     if reorder is not None:
         print(f"reorder:  {gain['before_bytes_per_nnz']:.2f} -> "
               f"{gain['after_bytes_per_nnz']:.2f} bytes/nnz "
@@ -485,6 +591,56 @@ def cmd_run(args) -> int:
         print(f"guard:    {incidents} incident(s) logged")
         if incidents:
             print(guard.log.render())
+    return 0
+
+
+def cmd_tune(args) -> int:
+    import json
+
+    from repro.pipeline.cache import ArtifactCache
+    from repro.tune import tune_matrix
+
+    coo = load_matrix(args.matrix, args.scale)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    emit = None if args.json else print
+    result = tune_matrix(coo, cache=cache, budget=args.budget,
+                         force=args.force, repeats=args.repeat,
+                         batch_queries=args.batch, seed=args.seed,
+                         allow_float32=args.allow_float32, log=emit)
+    cfg = result.config
+    if args.json:
+        payload = {
+            "matrix": args.matrix,
+            "shape": list(coo.shape),
+            "nnz": coo.nnz,
+            "persisted": cache is not None,
+            **result.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if cache is None:
+        source = "not persisted (no --cache-dir)"
+    elif result.cache_hit:
+        source = "cache hit (use --force to re-search)"
+    else:
+        source = f"stored in {args.cache_dir}"
+    pruned = cfg.candidates_total - cfg.candidates_measured
+    print(f"matrix:     {args.matrix} shape={coo.shape} "
+          f"nnz={coo.nnz}")
+    print(f"record:     {source}")
+    print(f"structure:  portfolio={cfg.portfolio} "
+          f"tile={cfg.tile_size} "
+          f"(bitwise-safe: {cfg.structure_bitwise})")
+    print(f"execution:  layout={cfg.layout} backend={cfg.backend} "
+          f"jobs={cfg.jobs} "
+          f"batch_block={cfg.batch_block or 'auto'}")
+    print(f"spmv:       tuned {cfg.spmv_ms:.4f} ms vs default "
+          f"{cfg.default_spmv_ms:.4f} ms ({cfg.speedup:.2f}x)")
+    print(f"batch:      tuned {cfg.batch_qps:.0f} q/s vs default "
+          f"{cfg.default_batch_qps:.0f} q/s")
+    print(f"search:     measured {cfg.candidates_measured} of "
+          f"{cfg.candidates_total} candidates (model pruned "
+          f"{pruned}; {result.wall_ms:.0f} ms wall)")
     return 0
 
 
@@ -830,6 +986,45 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="FILE",
                      help="write the per-stage pipeline trace to FILE "
                           "as JSON")
+    run.add_argument("--tuned", action="store_true",
+                     help="execute through a per-matrix tuned "
+                          "configuration: loaded from --cache-dir "
+                          "when a record exists, searched on the "
+                          "fly otherwise (see 'python -m repro tune')")
+    run.add_argument("--json", action="store_true",
+                     help="emit one JSON payload with the timing and "
+                          "a 'resolved' object echoing the fully "
+                          "resolved configuration (backend, layout, "
+                          "jobs, portfolio)")
+
+    tune = add_matrix_command(
+        "tune", "search the per-matrix knob space and persist the "
+                "winning configuration"
+    )
+    tune.add_argument("--cache-dir", default=None,
+                      help="artifact cache directory; the winning "
+                           "record is persisted here keyed on the "
+                           "matrix content digest (omit to search "
+                           "without persisting)")
+    tune.add_argument("--budget", type=int, default=12,
+                      help="maximum measured candidates after the "
+                           "analytic-model pruning pass (default 12)")
+    tune.add_argument("--force", action="store_true",
+                      help="re-search even when a valid cached record "
+                           "exists, and overwrite it")
+    tune.add_argument("--json", action="store_true",
+                      help="emit the tuning record and trial log as "
+                           "JSON")
+    tune.add_argument("--repeat", type=int, default=3,
+                      help="best-of-N repeats per measured candidate")
+    tune.add_argument("--batch", type=int, default=8,
+                      help="queries per call when timing the batch "
+                           "block-width knob")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="seed for the probe vectors")
+    tune.add_argument("--allow-float32", action="store_true",
+                      help="let the search consider the float32 value "
+                           "layout (tolerance-checked, not bitwise)")
 
     backends = sub.add_parser(
         "backends",
@@ -921,6 +1116,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "encode": cmd_encode,
     "run": cmd_run,
+    "tune": cmd_tune,
     "backends": cmd_backends,
     "spmv": cmd_spmv,
     "verify": cmd_verify,

@@ -21,6 +21,7 @@ from repro.core.templates import (
     Portfolio,
     PortfolioError,
     build_portfolio,
+    candidate_portfolio,
     candidate_portfolios,
     template_universe,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "Portfolio",
     "PortfolioError",
     "build_portfolio",
+    "candidate_portfolio",
     "candidate_portfolios",
     "template_universe",
     "DecompositionError",

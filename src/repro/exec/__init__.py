@@ -42,6 +42,7 @@ from repro.exec.plan import (
     ExecutionPlan,
     PLAN_STAGE,
     digest_async,
+    dispatch_overhead_s,
     index_dtype_for,
     plan_checksum,
     set_shard_fault_hook,
@@ -58,6 +59,7 @@ __all__ = [
     "available_backends",
     "csr_kernels_available",
     "digest_async",
+    "dispatch_overhead_s",
     "get_backend",
     "index_dtype_for",
     "numba_available",

@@ -82,6 +82,20 @@ AUTO_SHARD_SLOTS = 4 << 20
 #: gather block (8M float64 elements = 64 MiB scratch).
 SPMM_BLOCK_ELEMS = 1 << 23
 
+#: How many times larger than one measured pool dispatch a shard's
+#: estimated kernel time must be before the auto heuristic adds a
+#: worker.  BENCH_exec.json shows a mis-sized shard grid losing 3.7x
+#: to the serial path; the margin keeps the dispatch tax a rounding
+#: error when threads do engage.
+SHARD_OVERHEAD_MARGIN = 8.0
+
+#: Rough serial kernel throughput (seconds per slot) used to estimate
+#: a shard's kernel time against the dispatch overhead.  Calibrated
+#: from the csr backend in BENCH_exec.json (~0.07 ms / 45k slots); it
+#: only needs to be right to an order of magnitude — the margin above
+#: absorbs the rest.
+EST_SECONDS_PER_SLOT = 2e-9
+
 #: Index dtypes a plan may store (narrow whenever it fits).
 _INDEX_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
 
@@ -92,6 +106,11 @@ _INT32_MAX = int(np.iinfo(np.int32).max)
 
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
+
+#: Measured round-trip of one no-op pool dispatch (seconds); ``None``
+#: until first measured.  Tests may overwrite it to pin the auto-shard
+#: clamp's input.
+_DISPATCH_OVERHEAD: Optional[float] = None
 
 #: Fault-injection hook consulted at the start of every shard dispatch
 #: (``hook(lo, hi)``); ``None`` on the clean path.  Installed by
@@ -191,6 +210,32 @@ def _pool() -> ThreadPoolExecutor:
                 thread_name_prefix="spasm-exec",
             )
         return _POOL
+
+
+def dispatch_overhead_s(refresh: bool = False) -> float:
+    """Measured cost of one shard dispatch on the shared pool.
+
+    Times a handful of no-op submit/result round-trips and keeps the
+    median — a per-process constant the auto-shard heuristic uses to
+    clamp its worker count (a shard whose kernel time cannot dominate
+    this figure is not worth a thread).  Measured lazily once; pass
+    ``refresh=True`` to re-measure.
+    """
+    global _DISPATCH_OVERHEAD
+    if _DISPATCH_OVERHEAD is None or refresh:
+        pool = _pool()
+        samples = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            pool.submit(_noop_dispatch).result()
+            samples.append(time.perf_counter() - t0)
+        _DISPATCH_OVERHEAD = float(sorted(samples)[len(samples) // 2])
+    return _DISPATCH_OVERHEAD
+
+
+def _noop_dispatch() -> None:
+    """The empty task :func:`dispatch_overhead_s` times."""
+    return None
 
 
 def stream_digest(spasm: Any) -> str:
@@ -797,11 +842,48 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
 
     def _auto_jobs(self) -> int:
-        """Worker count the slots-per-worker heuristic picks."""
+        """Worker count the slots-per-worker heuristic picks.
+
+        A persisted :class:`~repro.tune.TunedConfig` override
+        (:meth:`override_auto_jobs`) wins outright; otherwise the
+        static slots-per-worker threshold proposes a count which is
+        then clamped by the *measured* per-dispatch overhead — a shard
+        only earns a thread when its estimated kernel time dominates
+        one pool round-trip by :data:`SHARD_OVERHEAD_MARGIN`.
+        """
+        tuned = self._scratch.get("tuned_jobs")
+        if tuned is not None:
+            return max(1, min(int(tuned), os.cpu_count() or 1))
         jobs = self.n_slots // AUTO_SHARD_SLOTS
         if jobs < 2:
             return 1
-        return min(jobs, os.cpu_count() or 1)
+        jobs = min(jobs, os.cpu_count() or 1)
+        overhead = dispatch_overhead_s()
+        while jobs > 1:
+            shard_s = (self.n_slots / jobs) * EST_SECONDS_PER_SLOT
+            if shard_s >= SHARD_OVERHEAD_MARGIN * overhead:
+                break
+            jobs -= 1
+        return jobs
+
+    def override_auto_jobs(self, jobs: Optional[int]) -> None:
+        """Pin the ``jobs=None`` auto heuristic to a tuned worker count.
+
+        Installed when a persisted :class:`~repro.tune.TunedConfig` is
+        applied to this plan's matrix: the measured-best shard count
+        overrides the static slots-per-worker threshold for every
+        subsequent auto-mode dispatch.  ``None`` clears the override.
+        Explicit ``jobs=N`` arguments still win (tests and fault
+        campaigns force shard grids), and every count remains bitwise
+        identical.  Stored in the non-persisted scratch dict, so cached
+        plan artifacts never bake in a machine-specific count.
+        """
+        if jobs is None:
+            self._scratch.pop("tuned_jobs", None)
+            return
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._scratch["tuned_jobs"] = int(jobs)
 
     def shard_bounds(self, jobs: int) -> List[Tuple[int, int]]:
         """Contiguous segment ranges of roughly equal slot count.

@@ -1,0 +1,120 @@
+"""Pinned-dispatch execution of a tuned plan.
+
+``ExecutionPlan.spmv`` re-negotiates a backend, re-derives the shard
+grid and re-checks the scratch cache on *every* call — the right
+default for an untuned plan, but measurable overhead once a
+:class:`~repro.tune.config.TunedConfig` has already decided every
+knob: on the sub-100µs matrices of the synth suite the dispatch
+envelope costs as much as the kernel.  :class:`TunedExecutor` performs
+that negotiation exactly once — resolve the tuned backend, validate
+the plan, prepare the backend scratch, freeze the shard grid — and
+then dispatches straight into the kernel.
+
+The executor changes *where* per-call work happens, never *what* the
+kernel computes: serial calls route through the plan's own
+``_run_shard`` envelope (so the fault-injection hook still fires and
+empty plans still short-circuit), sharded and batched calls delegate
+to the plan entry points with every knob pinned.  Output is therefore
+bitwise identical to the untuned engine on the same plan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.exec.backends.registry import (
+    BackendCapabilityError,
+    BackendUnavailable,
+    resolve_backend,
+)
+from repro.exec.plan import ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tune.config import TunedConfig
+
+
+class TunedExecutor:
+    """One matrix's execution pinned to its measured-best knobs.
+
+    Construction resolves and prepares everything a call would
+    otherwise pay for: the tuned backend (falling back to auto
+    negotiation when the persisted name is unavailable in this
+    process — a record tuned with numba must still run without it),
+    one :meth:`~repro.exec.plan.ExecutionPlan.validate` pass (a
+    corrupt plan is refused up front, mirroring the guard), the
+    backend's prepared scratch, and the tuned shard count — which is
+    also installed as the plan's auto-jobs override so even untuned
+    call sites on the same plan inherit the measured choice.
+    """
+
+    def __init__(self, plan: ExecutionPlan,
+                 config: "TunedConfig") -> None:
+        issues = plan.validate()
+        if issues:
+            raise ValueError(
+                "refusing to pin a corrupt plan: " + "; ".join(issues)
+            )
+        self.plan = plan
+        self.config = config
+        try:
+            self.engine = resolve_backend(config.backend, plan=plan,
+                                          op="spmv")
+        except (KeyError, BackendUnavailable, BackendCapabilityError):
+            self.engine = resolve_backend(None, plan=plan, op="spmv")
+        self.jobs = max(1, int(config.jobs))
+        self.batch_block: Optional[int] = (
+            int(config.batch_block) if config.batch_block > 0 else None
+        )
+        self._state = plan._backend_state(self.engine)
+        plan.override_auto_jobs(self.jobs)
+
+    @property
+    def backend_name(self) -> str:
+        """The kernel backend actually pinned (post-fallback)."""
+        return self.engine.name
+
+    def spmv(self, x: np.ndarray,
+             y: Optional[np.ndarray] = None) -> np.ndarray:
+        """``y = A @ x + y`` with every dispatch decision precomputed.
+
+        Bitwise identical to ``plan.spmv(x, y)`` — same kernel, same
+        segment order, same shard semantics.
+        """
+        plan = self.plan
+        if self.jobs > 1:
+            return plan.spmv(x, y=y, jobs=self.jobs,
+                             backend=self.engine)
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.shape != (plan.shape[1],):
+            raise ValueError(
+                f"x of shape {x.shape} incompatible with {plan.shape}"
+            )
+        out = np.zeros(plan.shape[0], dtype=np.float64)
+        plan._run_shard(self.engine, self._state, out, x, 0,
+                        plan.n_segments)
+        if y is not None:
+            y = np.asarray(y, dtype=np.float64)
+            if y.shape != out.shape:
+                raise ValueError(
+                    f"y of shape {y.shape} incompatible with "
+                    f"{plan.shape}"
+                )
+            out += y
+        return out
+
+    def spmm(self, x_block: np.ndarray,
+             y_block: Optional[np.ndarray] = None) -> np.ndarray:
+        """``Y = A @ X + Y`` with the tuned block size and shard grid."""
+        return self.plan.spmm(
+            x_block, y_block=y_block, jobs=self.jobs,
+            block_size=self.batch_block, backend=self.engine,
+        )
+
+    def spmv_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Batched SpMV with the tuned block size and shard grid."""
+        return self.plan.spmv_batch(
+            xs, jobs=self.jobs, block_size=self.batch_block,
+            backend=self.engine,
+        )

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.solvers",
     "repro.analyze",
     "repro.verify",
+    "repro.tune",
 ]
 
 

@@ -471,18 +471,23 @@ class TestAutoSharding:
         assert plan._auto_jobs() == 1
 
     def test_heuristic_scales_with_slots(self, rng, monkeypatch):
+        # Pin dispatch overhead to ~zero: this test isolates the nnz
+        # rule, the overhead clamp has its own tests in test_tune.py.
+        monkeypatch.setattr(plan_mod, "_DISPATCH_OVERHEAD", 1e-12)
         monkeypatch.setattr(plan_mod, "AUTO_SHARD_SLOTS", 64)
         monkeypatch.setattr(plan_mod.os, "cpu_count", lambda: 8)
         plan = encode(integer_coo(rng, 96)).plan()
         assert plan._auto_jobs() == min(plan.n_slots // 64, 8)
 
     def test_heuristic_caps_at_cpu_count(self, rng, monkeypatch):
+        monkeypatch.setattr(plan_mod, "_DISPATCH_OVERHEAD", 1e-12)
         monkeypatch.setattr(plan_mod, "AUTO_SHARD_SLOTS", 64)
         monkeypatch.setattr(plan_mod.os, "cpu_count", lambda: 2)
         plan = encode(integer_coo(rng, 96)).plan()
         assert plan._auto_jobs() == 2
 
     def test_auto_matches_serial_bitwise(self, rng, monkeypatch):
+        monkeypatch.setattr(plan_mod, "_DISPATCH_OVERHEAD", 1e-12)
         monkeypatch.setattr(plan_mod, "AUTO_SHARD_SLOTS", 64)
         monkeypatch.setattr(plan_mod, "MIN_SHARD_SLOTS", 16)
         monkeypatch.setattr(plan_mod.os, "cpu_count", lambda: 4)
