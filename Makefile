@@ -1,6 +1,6 @@
 # Convenience targets for the SPASM reproduction.
 
-.PHONY: install test lint analyze verify bench bench-smoke tune-smoke faults-smoke reproduce examples clean
+.PHONY: install test lint analyze verify bench bench-smoke tune-smoke faults-smoke serve-smoke reproduce examples clean
 
 install:
 	pip install -e .
@@ -76,6 +76,18 @@ tune-smoke:
 faults-smoke:
 	python -m repro faults --campaign smoke --no-overhead --quiet \
 	    --out BENCH_faults.json
+
+# Serving-layer smoke: the chaos-under-load campaign (smoke preset:
+# stream/value/plan/backend-state/cache/worker faults fired at a live
+# SpmvServer between mixed-tenant bursts; a single escaped fault — an
+# ok response with a wrong result — exits nonzero), then the serving
+# benchmark, which records sustained QPS and clean-vs-chaos
+# p50/p95/p99 into BENCH_serve.json and fails on any escape, any
+# clean-phase failure or non-deadline shed, or a chaos p99 outside
+# the envelope of its own clean phase.
+serve-smoke:
+	python -m repro chaos --preset smoke --quiet --out BENCH_chaos.json
+	pytest benchmarks/bench_serve.py --benchmark-disable -q
 
 reproduce:
 	python -m repro reproduce --out reproduction

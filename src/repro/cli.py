@@ -785,6 +785,186 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _serve_setup(workloads: str, scale: float, cache_dir,
+                 byte_budget_mb, seed: int, admission=None,
+                 workers: int = 2):
+    """Unstarted server + probe dims for the serve/query commands."""
+    from repro.pipeline.cache import ArtifactCache
+    from repro.serve import serve_matrices
+    from repro.synth import load_workload
+
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    budget = (int(byte_budget_mb * (1 << 20))
+              if byte_budget_mb else None)
+    matrices = {}
+    for item in workloads.split(","):
+        name, _, item_scale = item.strip().partition(":")
+        eff_scale = float(item_scale) if item_scale else scale
+        matrices[f"{name}@{eff_scale:g}"] = load_workload(
+            name, eff_scale
+        )
+    server = serve_matrices(
+        matrices, cache=cache, byte_budget=budget,
+        admission=admission, workers=workers, seed=seed, start=False,
+    )
+    ncols = {
+        plan_name: int(coo.shape[1])
+        for plan_name, coo in matrices.items()
+    }
+    return server, ncols
+
+
+def cmd_serve(args) -> int:
+    """Stand up the SpMV server and drive seeded mixed-tenant load.
+
+    There is no network listener — the server is the in-process query
+    engine of :mod:`repro.serve`; this command exercises it end to
+    end (admission, batching, degradation ladder, per-request
+    deadlines) and reports sustained QPS, latency percentiles and the
+    full health/stats snapshot.  A ``failed`` response exits 1.
+    """
+    import json
+
+    from repro.serve import (
+        AdmissionConfig,
+        TenantSpec,
+        run_load,
+        tenant_probes,
+    )
+
+    server, ncols = _serve_setup(
+        args.workloads, args.scale, args.cache_dir,
+        args.plan_budget_mb, args.seed,
+        admission=AdmissionConfig(max_queue_per_plan=args.queue,
+                                  max_total=args.max_queued),
+        workers=args.workers,
+    )
+    tenants = [
+        TenantSpec(name=f"tenant-{idx}", plan=plan_name,
+                   deadline_ms=args.deadline_ms, n_probes=4)
+        for idx, plan_name in enumerate(sorted(ncols))
+    ]
+    with server:
+        probes = tenant_probes(tenants, ncols, args.seed)
+        report = run_load(server, tenants, probes, args.requests,
+                          seed=args.seed + 1)
+        stats = server.stats()
+        health = server.health()
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(
+            {"load": summary, "health": health, "stats": stats},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        lat = summary["latency_ms"]
+        print(f"served {summary['requests']} requests over "
+              f"{len(tenants)} tenants: {summary['counts']}")
+        print(f"  qps={summary['qps']:.1f}  p50={lat['p50']:.2f} ms  "
+              f"p95={lat['p95']:.2f} ms  p99={lat['p99']:.2f} ms")
+        print(f"  health: {health}")
+        print(f"  registry: hot_bytes={stats['registry']['hot_bytes']}"
+              f" evicted={stats['registry']['evicted_total']}"
+              f"  shed={stats['admission']['shed']}")
+    return 1 if summary["counts"].get("failed") else 0
+
+
+def cmd_query(args) -> int:
+    """One guarded query through the serving engine.
+
+    Compiles (or cache-loads) the workload, serves a single seeded
+    probe vector under the optional deadline, and prints the response
+    status, latency and output checksum.  Non-``ok`` responses exit 1.
+    """
+    import hashlib
+    import json
+
+    import numpy as np
+
+    from repro.serve import Deadline
+
+    server, ncols = _serve_setup(
+        args.workload, args.scale, args.cache_dir, None, args.seed,
+        workers=1,
+    )
+    (plan_name,) = ncols
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(ncols[plan_name])
+    deadline = (Deadline.after_ms(args.deadline_ms)
+                if args.deadline_ms is not None else None)
+    with server:
+        response = server.query(plan_name, x, deadline=deadline)
+    payload = {
+        "plan": plan_name,
+        "status": response.status,
+        "level": response.level,
+        "latency_ms": response.latency_s * 1e3,
+        "detail": response.detail,
+    }
+    if response.ok:
+        payload["l2_norm"] = float(np.linalg.norm(response.y))
+        payload["sha256"] = hashlib.sha256(
+            response.y.tobytes()
+        ).hexdigest()[:16]
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        line = (f"{plan_name}: {response.status} "
+                f"(level={response.level}, "
+                f"{payload['latency_ms']:.2f} ms)")
+        if response.ok:
+            line += (f" l2={payload['l2_norm']:.6g} "
+                     f"sha256={payload['sha256']}")
+        else:
+            line += f" -- {response.detail}"
+        print(line)
+    return 0 if response.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    """Chaos-under-load: faults fired at a live server (gate: 0 escapes).
+
+    Runs the :mod:`repro.resilience.chaos` campaign — a live
+    :class:`~repro.serve.SpmvServer` under seeded mixed-tenant load
+    with stream/value/plan/backend/cache/worker faults injected
+    between bursts, every response audited bitwise against pristine
+    references.  Any escaped fault (an ``ok`` response with a wrong
+    result) exits 1.
+    """
+    import json
+
+    from repro.resilience import (
+        render_chaos_report,
+        run_chaos_campaign,
+        write_report,
+    )
+
+    def progress(line):
+        if not args.quiet:
+            print(f"  .. {line}", file=sys.stderr)
+
+    report = run_chaos_campaign(
+        preset=args.preset, seed=args.seed,
+        cache_dir=args.cache_dir, progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_chaos_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote chaos report to {args.out}", file=sys.stderr)
+    if not report["zero_escapes"]:
+        totals = report["chaos"]["totals"]
+        print(
+            f"error: {totals['escaped']} fault(s) escaped the live "
+            "serving layer (ok responses with wrong results)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     """Regenerate the headline evaluation tables in one pass."""
     import pathlib
@@ -1092,6 +1272,79 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--quiet", action="store_true",
                         help="suppress per-surface progress lines")
 
+    serve = sub.add_parser(
+        "serve",
+        help="stand up the in-process SpMV server and drive seeded "
+             "mixed-tenant load through it",
+    )
+    serve.add_argument(
+        "--workloads", default="tmt_sym,mip1",
+        help="comma-separated workload names, each optionally "
+             "'name:scale' (default scale from --scale)",
+    )
+    serve.add_argument("--scale", type=float, default=0.5,
+                       help="default synthetic workload scale")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="load-generator request count")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="server worker threads")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline for every tenant")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="per-plan admission queue bound")
+    serve.add_argument("--max-queued", type=int, default=256,
+                       help="global admission queue bound")
+    serve.add_argument("--plan-budget-mb", type=float, default=None,
+                       help="registry hot-plan byte budget (LRU "
+                            "eviction above it)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact cache (plan artifacts + tuned "
+                            "records warm from here)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for probes and tenant traffic")
+    serve.add_argument("--json", action="store_true",
+                       help="emit load/health/stats as JSON")
+
+    query = sub.add_parser(
+        "query",
+        help="run one guarded query through the serving engine",
+    )
+    query.add_argument("workload",
+                       help="workload name, optionally 'name:scale'")
+    query.add_argument("--scale", type=float, default=0.5,
+                       help="synthetic workload scale")
+    query.add_argument("--seed", type=int, default=0,
+                       help="seed for the probe vector")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       help="request deadline; an expired request is "
+                            "shed, never answered late")
+    query.add_argument("--cache-dir", default=None,
+                       help="artifact cache for plan/tuned warmup")
+    query.add_argument("--json", action="store_true",
+                       help="emit the response as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-under-load campaign against a live server "
+             "(an escaped fault exits 1)",
+    )
+    chaos.add_argument("--preset", default="smoke",
+                       choices=["smoke", "full"],
+                       help="campaign preset (smoke: CI gate; full: "
+                            "more tenants, waves and bursts)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed; the campaign is a pure "
+                            "function of it")
+    chaos.add_argument("--cache-dir", default=None,
+                       help="cache directory to corrupt (default: a "
+                            "throwaway temp dir)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON on stdout")
+    chaos.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the JSON report to FILE")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress per-wave progress lines")
+
     reproduce = sub.add_parser(
         "reproduce",
         help="regenerate the headline evaluation tables in one pass",
@@ -1121,6 +1374,9 @@ COMMANDS = {
     "spmv": cmd_spmv,
     "verify": cmd_verify,
     "faults": cmd_faults,
+    "serve": cmd_serve,
+    "query": cmd_query,
+    "chaos": cmd_chaos,
     "reproduce": cmd_reproduce,
 }
 

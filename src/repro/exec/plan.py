@@ -455,8 +455,27 @@ class ExecutionPlan:
                                      index=index, precision=precision)
             if cached is not None:
                 return cached
-        plan = cls._compile(spasm, digest, index=index,
-                            precision=precision)
+        # The compile re-reads the stored arrays after the digest did.
+        # A concurrent in-place mutation landing between the two reads
+        # (a fault striking a live serving stream) would label a
+        # corrupted plan with the pristine digest — defeating every
+        # digest-based integrity check downstream and, worse,
+        # persisting the poisoned plan under the pristine cache key.
+        # Re-digest after the compile consumed the arrays and rebuild
+        # until the stream was stable across the whole build window.
+        for _ in range(4):
+            plan = cls._compile(spasm, digest, index=index,
+                                precision=precision)
+            confirmed = stream_digest(spasm)
+            if confirmed == digest:
+                break
+            digest = confirmed
+            key = _plan_cache_key(digest, index, precision)
+        else:
+            raise RuntimeError(
+                "encoded stream kept mutating while the plan was "
+                "being compiled; refusing to label the result"
+            )
         if cache is not None:
             plan._to_cache(cache, key=key)
         return plan
@@ -704,6 +723,17 @@ class ExecutionPlan:
             + self.seg_starts.nbytes
             + self.seg_rows.nbytes
         )
+
+    def release_scratch(self) -> None:
+        """Drop prepared backend scratch and runtime pins.
+
+        The serving layer's plan registry calls this when it evicts a
+        plan under memory pressure: backend ``prepare`` state (dense
+        row pointers, widened index copies) can rival the plan arrays
+        themselves, and a plan about to go cold must not keep it
+        resident.  The next dispatch transparently re-prepares.
+        """
+        self._scratch.clear()
 
     def describe(self) -> str:
         """One-line summary for traces and CLI output."""

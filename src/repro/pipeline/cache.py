@@ -18,6 +18,14 @@ or checksum-mismatching entry is treated as a miss, **moved into
 ``<cache>/quarantine/``** so it can never be consulted again, and
 recomputed — the cache can never poison a compile, and one bad file can
 never poison subsequent runs.  See ``docs/RESILIENCE.md``.
+
+Long-lived processes (the serving layer) additionally need the cache
+to stay *bounded*: ``max_bytes`` arms LRU eviction (recency tracked
+through file mtimes, bumped on every hit) and ``quarantine_keep``
+caps how many corpses the quarantine directory retains — without
+either, a busy server eventually turns the cache directory into a
+disk-fill outage.  Eviction is safe under concurrency: a reader that
+loses the race to an evicted file simply sees a miss and recomputes.
 """
 
 from __future__ import annotations
@@ -144,17 +152,31 @@ class ArtifactCache:
     """Directory-backed content-addressed artifact cache.
 
     ``on_event`` is an optional callback ``(kind, details)`` invoked on
-    cache incidents (currently ``"quarantine"``); the resilience layer
-    uses it to log :class:`~repro.resilience.guard.ResilienceEvent`
-    records without this module depending on it.
+    cache incidents (``"quarantine"`` and ``"evict"``); the resilience
+    layer uses it to log
+    :class:`~repro.resilience.guard.ResilienceEvent` records without
+    this module depending on it.
+
+    ``max_bytes`` caps the total size of live entries: every
+    :meth:`store` prunes least-recently-used entries (mtime order;
+    :meth:`load` hits bump recency) until the cache fits, never
+    touching the entry just written.  ``None`` keeps the historical
+    unbounded behavior.  ``quarantine_keep`` bounds the quarantine
+    directory to the N most recent corpses (reason sidecars travel
+    with their entries); quarantined files exist for post-mortems,
+    not as an unbounded append-only log.
     """
 
     def __init__(self, cache_dir: Any,
                  on_event: Optional[
                      Callable[[str, Dict[str, Any]], None]
-                 ] = None):
+                 ] = None,
+                 max_bytes: Optional[int] = None,
+                 quarantine_keep: int = 128):
         self.cache_dir = os.fspath(cache_dir)
         self.on_event = on_event
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        self.quarantine_keep = int(quarantine_keep)
         os.makedirs(self.cache_dir, exist_ok=True)
 
     def path(self, stage: str, key: str) -> str:
@@ -199,6 +221,12 @@ class ArtifactCache:
         if recorded != payload_checksum(arrays):
             self.quarantine(stage, key, reason="checksum mismatch")
             return None
+        try:
+            # Bump recency so LRU eviction keeps hot entries (a file
+            # evicted or quarantined concurrently is simply left be).
+            os.utime(path)
+        except OSError:
+            pass
         return CacheEntry(arrays=arrays, meta=meta)
 
     def quarantine(self, stage: str, key: str,
@@ -226,6 +254,7 @@ class ArtifactCache:
                 fh.write(reason + "\n")
         except OSError:
             pass
+        self._prune_quarantine()
         if self.on_event is not None:
             self.on_event(
                 "quarantine",
@@ -233,6 +262,40 @@ class ArtifactCache:
                  "reason": reason},
             )
         return dest
+
+    def _prune_quarantine(self) -> None:
+        """Drop the oldest quarantined corpses beyond the retention cap.
+
+        Best-effort under concurrency: files that vanish mid-walk are
+        simply skipped.  The ``.reason`` sidecar travels with its
+        entry.
+        """
+        if self.quarantine_keep <= 0:
+            return
+        try:
+            names = [
+                name for name in os.listdir(self.quarantine_dir)
+                if not name.endswith(".reason")
+            ]
+        except FileNotFoundError:
+            return
+        if len(names) <= self.quarantine_keep:
+            return
+        aged = []
+        for name in names:
+            path = os.path.join(self.quarantine_dir, name)
+            try:
+                aged.append((os.path.getmtime(path), name))
+            except OSError:
+                continue
+        aged.sort()
+        for _, name in aged[:max(0, len(aged) - self.quarantine_keep)]:
+            for victim in (name, name + ".reason"):
+                try:
+                    os.unlink(os.path.join(self.quarantine_dir,
+                                           victim))
+                except OSError:
+                    pass
 
     def quarantined(self) -> Tuple[str, ...]:
         """File names currently sitting in quarantine."""
@@ -270,6 +333,58 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=os.path.basename(path))
+
+    def total_bytes(self) -> int:
+        """Total size of the live entries (quarantine excluded)."""
+        total = 0
+        for name in self.entries():
+            try:
+                total += os.path.getsize(
+                    os.path.join(self.cache_dir, name)
+                )
+            except OSError:
+                continue
+        return total
+
+    def _enforce_budget(self, keep: str = "") -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` names one entry exempt from eviction (the one just
+        written — a single oversized artifact must not evict itself
+        into a store/recompute loop).  Removal is plain ``unlink``:
+        a concurrent reader that loses the race sees a miss and
+        recomputes, which is the cache contract everywhere else.
+        """
+        if self.max_bytes is None:
+            return
+        aged = []
+        total = 0
+        for name in self.entries():
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            total += stat.st_size
+            if name != keep:
+                aged.append((stat.st_mtime, name, stat.st_size))
+        aged.sort()
+        for _, name, size in aged:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(os.path.join(self.cache_dir, name))
+            except OSError:
+                continue
+            total -= size
+            if self.on_event is not None:
+                self.on_event(
+                    "evict",
+                    {"entry": name, "bytes": size,
+                     "max_bytes": self.max_bytes},
+                )
 
     def entries(self) -> Tuple[str, ...]:
         """File names of every entry currently in the cache."""

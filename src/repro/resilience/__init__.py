@@ -19,7 +19,11 @@ failure modes *injectable* and *survivable*:
 * :mod:`repro.resilience.campaign` — a campaign runner that injects N
   seeded faults across every surface and reports
   detection/containment/escape counts (an escape fails the run),
-  exposed as ``python -m repro faults``.
+  exposed as ``python -m repro faults``;
+* :mod:`repro.resilience.chaos` — the chaos-under-load variant: the
+  same fault surfaces fired at a live :class:`~repro.serve.SpmvServer`
+  under seeded mixed-tenant load, every response audited bitwise
+  (``python -m repro chaos``).
 
 See ``docs/RESILIENCE.md`` for the fault taxonomy and guard semantics.
 """
@@ -47,6 +51,12 @@ from repro.resilience.campaign import (
     run_campaign,
     write_report,
 )
+from repro.resilience.chaos import (
+    CHAOS_GUARD,
+    CHAOS_PRESETS,
+    render_chaos_report,
+    run_chaos_campaign,
+)
 
 __all__ = [
     "FaultInjector",
@@ -62,8 +72,12 @@ __all__ = [
     "RowOracle",
     "guarded_spmv",
     "CAMPAIGN_PRESETS",
+    "CHAOS_GUARD",
+    "CHAOS_PRESETS",
     "measure_overhead",
+    "render_chaos_report",
     "render_report",
     "run_campaign",
+    "run_chaos_campaign",
     "write_report",
 ]

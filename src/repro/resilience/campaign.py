@@ -454,6 +454,7 @@ def render_report(report: Dict[str, Any]) -> str:
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
+    """Persist a campaign report as sorted, indented JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,464 @@
+"""Chaos-under-load: fault injection against a *live* server.
+
+:mod:`repro.resilience.campaign` proves the guard survives each fault
+surface in isolation, one call at a time.  This module raises the bar:
+it stands up a real :class:`~repro.serve.SpmvServer` (admission
+control, batching workers, degradation ladder), drives seeded
+mixed-tenant load through it, and fires
+:class:`~repro.resilience.faults.FaultInjector` surfaces at the live
+serving state between bursts — in-place stream/value bit flips on a
+hot entry, plan-array and backend-scratch flips on the executing
+plan, on-disk cache corruption followed by forced re-warms, and
+shard-worker kills/stalls armed across a whole burst.
+
+Every response of every burst is then audited bitwise against
+references computed from pristine clones **before** any injection:
+
+==============  ====================================================
+``contained``   status ``ok`` and bitwise equal to a reference
+                (plan-path or naive) — served correctly through or
+                around the fault.
+``detected``    status ``failed`` — the guard refused to answer
+                (e.g. stream digest mismatch): correctness preserved
+                by rejection.
+``shed``        status ``shed`` — dropped by admission or deadline
+                policy, no result returned.
+``escaped``     status ``ok`` but **wrong** — the only bad outcome,
+                and the campaign gate: any escape fails the run.
+==============  ====================================================
+
+After each wave the campaign heals the hit tenant by swapping a fresh
+pristine clone into the registry
+(:meth:`~repro.serve.PlanRegistry.replace`), mirroring an operator
+re-ingesting a matrix, so waves stay independent.  The report also
+carries clean-phase vs chaos-phase latency percentiles for
+``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.resilience.faults import FaultInjector, clone_spasm
+from repro.resilience.guard import GuardConfig
+
+#: Serving guard hardened for the chaos gate: the stream digest is
+#: re-pinned and the plan revalidated on *every* call, and the sampled
+#: oracle runs every call, so an injected fault is confronted by the
+#: very next request rather than within a window.  Fallback stays on —
+#: containment through the naive engine is a success mode here.
+CHAOS_GUARD = GuardConfig(
+    validate_plan=True,
+    repin_interval=1,
+    revalidate_interval=1,
+    check_interval=1,
+    check_rows=4,
+    max_attempts=2,
+    backoff_s=0.0005,
+    max_retry_wall_s=2.0,
+)
+
+#: Chaos presets.  ``smoke`` is the CI gate; ``full`` widens every
+#: axis (tenants, bursts, waves per surface).
+CHAOS_PRESETS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "matrices": [("tmt_sym", 0.5), ("mip1", 0.3)],
+        "tenants": [
+            # (tenant, matrix index, weight, deadline_ms, n_probes)
+            ("latency", 0, 2.0, 250.0, 3),
+            ("batch", 1, 1.0, None, 3),
+        ],
+        "workers": 2,
+        "max_queue_per_plan": 32,
+        "max_total": 96,
+        "clean_requests": 60,
+        "burst_requests": 24,
+        "waves_per_surface": 1,
+        "surfaces": ["stream", "value", "plan", "backend", "cache",
+                     "worker"],
+    },
+    "full": {
+        "matrices": [("tmt_sym", 1.0), ("mip1", 0.5), ("rim", 0.5)],
+        "tenants": [
+            ("latency", 0, 2.0, 400.0, 4),
+            ("batch", 1, 1.0, None, 4),
+            ("bulk", 2, 1.0, 1000.0, 4),
+        ],
+        "workers": 3,
+        "max_queue_per_plan": 48,
+        "max_total": 160,
+        "clean_requests": 200,
+        "burst_requests": 60,
+        "waves_per_surface": 3,
+        "surfaces": ["stream", "value", "plan", "backend", "cache",
+                     "worker"],
+    },
+}
+
+
+class _ChaosRun:
+    """One campaign's mutable state (matrices, server, references)."""
+
+    def __init__(self, spec: Dict[str, Any], seed: int,
+                 cache_dir: Optional[str],
+                 progress: Optional[Callable[[str], None]]):
+        self.spec = spec
+        self.seed = int(seed)
+        self.injector = FaultInjector(seed=seed)
+        self.progress = progress or (lambda line: None)
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if cache_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(
+                prefix="repro-chaos-"
+            )
+            cache_dir = self._tmp.name
+        self.cache_dir = cache_dir
+        self.pristine: Dict[str, Any] = {}
+        self.refs: Dict[str, List[Dict[str, np.ndarray]]] = {}
+
+    # -- setup ----------------------------------------------------------
+
+    def build(self) -> None:
+        from repro.pipeline.cache import ArtifactCache
+        from repro.serve import (
+            AdmissionConfig,
+            PlanRegistry,
+            SpmvServer,
+            TenantSpec,
+            tenant_probes,
+        )
+        from repro.synth import load_workload
+
+        cache = ArtifactCache(self.cache_dir)
+        self.registry = PlanRegistry(
+            cache=cache, guard_config=CHAOS_GUARD, seed=self.seed,
+        )
+        self.plan_names: List[str] = []
+        ncols_of: Dict[str, int] = {}
+        for workload, scale in self.spec["matrices"]:
+            name = f"{workload}@{scale:g}"
+            coo = load_workload(workload, scale)
+            entry = self.registry.register(name, coo=coo)
+            self.pristine[name] = clone_spasm(entry.spasm)
+            self.plan_names.append(name)
+            ncols_of[name] = int(entry.spasm.shape[1])
+            self.progress(f"registered {name}: shape="
+                          f"{tuple(entry.spasm.shape)} nnz={coo.nnz}")
+        self.tenants = [
+            TenantSpec(name=tenant, plan=self.plan_names[mat_idx],
+                       weight=weight, deadline_ms=deadline_ms,
+                       n_probes=n_probes)
+            for tenant, mat_idx, weight, deadline_ms, n_probes
+            in self.spec["tenants"]
+        ]
+        self.probes = tenant_probes(self.tenants, ncols_of, self.seed)
+        # References from pristine clones, before any injection: both
+        # the plan path and the naive path are legitimate provenances
+        # for an ``ok`` answer.
+        for tenant in self.tenants:
+            spasm = clone_spasm(self.pristine[tenant.plan])
+            pool = self.probes[tenant.name]
+            self.refs[tenant.name] = [
+                {
+                    "naive": spasm.spmv_naive(pool[i]),
+                    "plan": spasm.spmv(pool[i]),
+                }
+                for i in range(pool.shape[0])
+            ]
+        self.server = SpmvServer(
+            self.registry,
+            admission=AdmissionConfig(
+                max_queue_per_plan=self.spec["max_queue_per_plan"],
+                max_total=self.spec["max_total"],
+            ),
+            workers=self.spec["workers"],
+        )
+
+    # -- verification ---------------------------------------------------
+
+    def classify(self, report: Any) -> Dict[str, Any]:
+        """Audit one load report bitwise; tally outcome classes."""
+        tally = {"requests": 0, "contained": 0, "detected": 0,
+                 "shed": 0, "escaped": 0}
+        escapes: List[Dict[str, Any]] = []
+        for record in report.records:
+            tally["requests"] += 1
+            response = record.response
+            if response.status == "shed":
+                tally["shed"] += 1
+            elif response.status == "failed":
+                tally["detected"] += 1
+            else:
+                refs = self.refs[record.tenant][record.probe]
+                if (np.array_equal(response.y, refs["naive"])
+                        or np.array_equal(response.y, refs["plan"])):
+                    tally["contained"] += 1
+                else:
+                    tally["escaped"] += 1
+                    escapes.append({
+                        "tenant": record.tenant,
+                        "plan": record.plan,
+                        "probe": record.probe,
+                        "level": response.level,
+                    })
+        tally["escapes"] = escapes
+        return tally
+
+    # -- injection ------------------------------------------------------
+
+    def inject(self, surface: str, wave: int) -> Dict[str, Any]:
+        """Fire one fault at the live server; returns wave metadata.
+
+        Returns the fault record (if any) plus a ``heal`` list of plan
+        names to restore after the burst and, for worker faults, the
+        armed context manager.
+        """
+        target = self.plan_names[
+            int(self.injector.rng.integers(len(self.plan_names)))
+        ]
+        meta: Dict[str, Any] = {"surface": surface, "wave": wave,
+                                "target": target, "record": None,
+                                "heal": [], "worker_ctx": None}
+        if surface in ("stream", "value", "plan", "backend"):
+            lease = self.registry.acquire(target)
+            try:
+                if surface == "stream":
+                    record = self.injector.flip_stream_word(lease.spasm)
+                elif surface == "value":
+                    record = self.injector.flip_value(lease.spasm)
+                else:
+                    plan = lease.spasm.plan()
+                    if surface == "plan":
+                        record = self.injector.flip_plan_array(plan)
+                    else:
+                        from repro.exec.backends import resolve_backend
+
+                        engine = resolve_backend(None, plan=plan,
+                                                 op="spmv").name
+                        record = self.injector.flip_backend_state(
+                            plan, engine, float_only=True
+                        )
+            finally:
+                self.registry.release(lease)
+            meta["record"] = record
+            meta["heal"] = [target]
+        elif surface == "cache":
+            record = self.injector.corrupt_cache_entry(
+                self.registry.cache
+            )
+            meta["record"] = record
+            # Force re-warms through the corrupted cache: evict every
+            # idle plan so the next acquire reloads from disk.
+            for name in self.plan_names:
+                self.registry.evict(name)
+        elif surface == "worker":
+            meta["worker_ctx"] = self.injector.worker_fault(
+                mode=("kill", "stall")[wave % 2], nth=0,
+            )
+        else:
+            raise ValueError(f"unknown chaos surface {surface!r}")
+        return meta
+
+    def heal(self, meta: Dict[str, Any]) -> None:
+        """Restore pristine state for every plan a wave touched."""
+        for name in meta["heal"]:
+            self.registry.replace(name, clone_spasm(self.pristine[name]))
+
+    def close(self) -> None:
+        if self._tmp is not None:
+            self._tmp.cleanup()
+
+
+def _shard_storm(run: "_ChaosRun", enable: bool) -> Dict[str, int]:
+    """Force the shard path on small plans for worker waves.
+
+    Serving-sized chaos matrices never cross the auto-shard
+    thresholds, so worker faults would be unreachable; lowering
+    ``MIN_SHARD_SLOTS`` and pinning two jobs per hot plan makes every
+    burst dispatch through the pool.  Returns the saved constants for
+    restore.
+    """
+    import repro.exec.plan as plan_mod
+
+    saved = {"min": plan_mod.MIN_SHARD_SLOTS}
+    if enable:
+        plan_mod.MIN_SHARD_SLOTS = 1
+        for name in run.plan_names:
+            lease = run.registry.acquire(name)
+            try:
+                lease.spasm.plan().override_auto_jobs(2)
+            finally:
+                run.registry.release(lease)
+    return saved
+
+
+def run_chaos_campaign(preset: Any = "smoke", seed: int = 0,
+                       cache_dir: Optional[str] = None,
+                       progress: Optional[Callable[[str], None]] = None,
+                       ) -> Dict[str, Any]:
+    """Run the chaos-under-load campaign; returns a JSON-able report.
+
+    Parameters
+    ----------
+    preset:
+        A :data:`CHAOS_PRESETS` key (``smoke``/``full``) or an explicit
+        preset dict with the same schema.
+    seed:
+        Master seed: matrices, probe pools, tenant sequences and every
+        injection are a pure function of it.
+    cache_dir:
+        Artifact-cache directory (a throwaway temp dir by default —
+        the cache surface corrupts entries on disk).
+    progress:
+        Optional one-line-per-phase callback.
+    """
+    import repro.exec.plan as plan_mod
+
+    from repro.serve import run_load
+
+    if isinstance(preset, dict):
+        spec, preset_name = preset, "custom"
+    else:
+        try:
+            spec = CHAOS_PRESETS[preset]
+        except KeyError:
+            raise KeyError(
+                f"unknown chaos preset {preset!r}; choose from "
+                f"{sorted(CHAOS_PRESETS)}"
+            ) from None
+        preset_name = preset
+    run = _ChaosRun(spec, seed, cache_dir, progress)
+    waves: List[Dict[str, Any]] = []
+    try:
+        run.build()
+        with run.server:
+            run.progress("clean phase")
+            clean = run_load(
+                run.server, run.tenants, run.probes,
+                spec["clean_requests"], seed=seed + 1,
+            )
+            clean_audit = run.classify(clean)
+
+            chaos_records: List[Any] = []
+            chaos_wall = 0.0
+            wave_idx = 0
+            for surface in spec["surfaces"]:
+                for repeat in range(spec["waves_per_surface"]):
+                    wave_idx += 1
+                    meta = run.inject(surface, wave_idx)
+                    storm = surface == "worker"
+                    saved = _shard_storm(run, storm)
+                    try:
+                        ctx = meta.pop("worker_ctx")
+                        if ctx is not None:
+                            with ctx as record:
+                                meta["record"] = record
+                                burst = run_load(
+                                    run.server, run.tenants,
+                                    run.probes,
+                                    spec["burst_requests"],
+                                    seed=seed + 101 * wave_idx,
+                                )
+                        else:
+                            burst = run_load(
+                                run.server, run.tenants, run.probes,
+                                spec["burst_requests"],
+                                seed=seed + 101 * wave_idx,
+                            )
+                    finally:
+                        plan_mod.MIN_SHARD_SLOTS = saved["min"]
+                    audit = run.classify(burst)
+                    record = meta["record"]
+                    waves.append({
+                        "wave": wave_idx,
+                        "surface": surface,
+                        "target": meta["target"],
+                        "fault": (record.to_dict()
+                                  if record is not None else None),
+                        **{k: v for k, v in audit.items()},
+                    })
+                    chaos_records.extend(burst.records)
+                    chaos_wall += burst.wall_s
+                    run.heal(meta)
+                    run.progress(
+                        f"wave {wave_idx} [{surface}]: "
+                        f"contained={audit['contained']} "
+                        f"detected={audit['detected']} "
+                        f"shed={audit['shed']} "
+                        f"escaped={audit['escaped']}"
+                    )
+            from repro.serve.loadgen import LoadReport
+
+            chaos = LoadReport(records=chaos_records,
+                               wall_s=max(chaos_wall, 1e-9))
+            server_stats = run.server.stats()
+    finally:
+        run.close()
+
+    totals = {"requests": 0, "contained": 0, "detected": 0,
+              "shed": 0, "escaped": 0}
+    escapes: List[Dict[str, Any]] = []
+    for wave in waves:
+        for key in ("requests", "contained", "detected", "shed",
+                    "escaped"):
+            totals[key] += wave[key]
+        escapes.extend(wave.pop("escapes"))
+
+    report = {
+        "campaign": "chaos-under-load",
+        "preset": preset_name,
+        "seed": seed,
+        "guard": {
+            field: getattr(CHAOS_GUARD, field)
+            for field in ("repin_interval", "revalidate_interval",
+                          "check_interval", "check_rows",
+                          "max_attempts", "max_retry_wall_s")
+        },
+        "clean": {
+            **clean.summary(),
+            "audit": {k: v for k, v in clean_audit.items()
+                      if k != "escapes"},
+        },
+        "chaos": {
+            "latency_ms": chaos.percentiles_ms(),
+            "waves": waves,
+            "totals": totals,
+            "escapes": escapes,
+        },
+        "server": server_stats,
+        "zero_escapes": (totals["escaped"] == 0
+                         and clean_audit["escaped"] == 0),
+    }
+    return report
+
+
+def render_chaos_report(report: Dict[str, Any]) -> str:
+    """Human-readable chaos campaign summary."""
+    totals = report["chaos"]["totals"]
+    clean = report["clean"]
+    lines = [
+        f"chaos-under-load: preset={report['preset']} "
+        f"seed={report['seed']}",
+        f"  clean : {clean['requests']} requests, "
+        f"qps={clean['qps']:.1f}, "
+        f"p99={clean['latency_ms']['p99']:.2f} ms",
+        f"  chaos : {totals['requests']} requests over "
+        f"{len(report['chaos']['waves'])} waves, "
+        f"p99={report['chaos']['latency_ms']['p99']:.2f} ms",
+        f"  outcome: contained={totals['contained']} "
+        f"detected={totals['detected']} shed={totals['shed']} "
+        f"escaped={totals['escaped']}",
+    ]
+    for wave in report["chaos"]["waves"]:
+        lines.append(
+            f"    wave {wave['wave']:>2} {wave['surface']:<8} "
+            f"-> contained={wave['contained']} "
+            f"detected={wave['detected']} shed={wave['shed']} "
+            f"escaped={wave['escaped']}"
+        )
+    verdict = "PASS" if report["zero_escapes"] else "FAIL (escapes!)"
+    lines.append(f"  gate  : zero escapes -> {verdict}")
+    return "\n".join(lines)

@@ -156,8 +156,9 @@ class FaultInjector:
 
     # -- backend-state faults ------------------------------------------
 
-    def flip_backend_state(self, plan: Any,
-                           backend: str) -> Optional[FaultRecord]:
+    def flip_backend_state(self, plan: Any, backend: str,
+                           float_only: bool = False,
+                           ) -> Optional[FaultRecord]:
         """Flip one bit in a backend's *prepared* scratch arrays.
 
         Backends upload per-plan device state at
@@ -170,6 +171,14 @@ class FaultInjector:
         (so the flip lands in exactly the arrays a later dispatch
         consumes) and cleared by ``plan._scratch.clear()``.  Returns
         ``None`` when the backend exposes no byte-addressable state.
+
+        ``float_only=True`` restricts the flip to floating-point
+        scratch (skipping index arrays).  A flipped index inside a
+        compiled kernel's scratch is not a *silent* fault — it writes
+        out of bounds and crashes the host process, which a campaign
+        running in-process cannot survive to classify; the chaos
+        campaign therefore injects only the silently-wrong flavor and
+        leaves crash containment to process supervision.
         """
         from repro.exec.backends import resolve_backend
 
@@ -178,7 +187,9 @@ class FaultInjector:
             plan._backend_state(engine)
         )
         candidates = sorted(
-            name for name, arr in arrays.items() if arr.size
+            name for name, arr in arrays.items()
+            if arr.size and (not float_only
+                             or np.issubdtype(arr.dtype, np.floating))
         )
         if not candidates:
             return None

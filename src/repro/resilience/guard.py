@@ -19,7 +19,10 @@ the integrity machinery the fast paths otherwise lack:
 * **retry with rebuild** — a plan that fails validation or execution
   is dropped (and its persisted artifact quarantined through the
   cache's own machinery), rebuilt from the stream, and retried up to
-  ``max_attempts`` times with ``backoff_s`` sleeps in between.
+  ``max_attempts`` times with doubling ``backoff_s`` sleeps in
+  between — every sleep clipped by the ``max_retry_wall_s`` cap and
+  the caller's per-request deadline (see :class:`_RetryBudget`), so
+  retries can never blow a request budget.
 * **automatic fallback** — when the plan engine cannot produce a
   trustworthy answer, execution falls back to
   :meth:`~repro.core.format.SpasmMatrix.spmv_naive`.
@@ -33,6 +36,7 @@ report in ``benchmarks/results/``).
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -61,7 +65,10 @@ class ResilienceEvent:
     kind:
         ``detect`` (corruption found), ``rebuild`` (plan recompiled),
         ``retry`` (execution re-attempted), ``fallback`` (switched to
-        the naive engine), ``quarantine`` (cache entry pulled).
+        the naive engine), ``quarantine`` (cache entry pulled),
+        ``deadline`` (retry budget exhausted before recovery
+        completed), ``degrade``/``restore`` (serving-layer ladder
+        transitions), ``evict`` (plan registry pressure eviction).
     surface:
         The layer involved: ``stream``, ``plan``, ``worker``,
         ``output`` or ``cache``.
@@ -154,9 +161,64 @@ class GuardConfig:
     max_attempts: int = 2
     #: Sleep between rebuild attempts (bounded backoff, doubling).
     backoff_s: float = 0.0
+    #: Hard cap on the total wall time a single call may spend in
+    #: retry/backoff before giving up on the plan engine (the doubling
+    #: backoff is clipped so the sum of sleeps never exceeds this).
+    #: ``0`` disables the cap.  A per-request deadline passed to the
+    #: call tightens this further.
+    max_retry_wall_s: float = 30.0
     #: Allow the naive fallback (the campaign disables it to prove
     #: detection alone would catch everything).
     fallback: bool = True
+
+
+class _RetryBudget:
+    """Wall-clock and deadline aware backoff for one guarded call.
+
+    Replaces the old unconditional ``sleep(backoff); backoff *= 2``
+    loop: every sleep is clipped to both the guard's
+    :attr:`GuardConfig.max_retry_wall_s` cap and the request's own
+    deadline (any object exposing ``remaining() -> float``), so a
+    retry ladder can never blow a request budget.  ``exhausted``
+    flips once no retry time remains — the caller stops re-attempting
+    and moves straight to its terminal action (fallback or raise).
+    """
+
+    def __init__(self, backoff_s: float, wall_s: float,
+                 deadline: Any = None):
+        self.backoff_s = float(backoff_s)
+        self.wall_s = float(wall_s) if wall_s else 0.0
+        self.deadline = deadline
+        self._start = time.monotonic()
+
+    def remaining(self) -> float:
+        """Retry seconds left under the cap and the deadline."""
+        left = math.inf
+        if self.wall_s > 0:
+            left = self.wall_s - (time.monotonic() - self._start)
+        if self.deadline is not None:
+            left = min(left, float(self.deadline.remaining()))
+        return left
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether any retry time remains."""
+        return self.remaining() <= 0.0
+
+    def sleep(self) -> float:
+        """One clipped backoff sleep; doubles for the next attempt.
+
+        Returns the time actually slept (0.0 when no backoff is
+        configured or no budget remains).
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        nap = min(self.backoff_s, max(self.remaining(), 0.0))
+        self.backoff_s *= 2
+        if nap > 0 and math.isfinite(nap):
+            time.sleep(nap)
+            return nap
+        return 0.0
 
 
 class RowOracle:
@@ -392,7 +454,8 @@ class ExecutionGuard:
     # -- public API ----------------------------------------------------
 
     def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None,
-             jobs: Optional[int] = None) -> np.ndarray:
+             jobs: Optional[int] = None,
+             deadline: Any = None) -> np.ndarray:
         """Guarded ``y = A @ x + y``.
 
         Semantics match :meth:`ExecutionPlan.spmv` exactly on the
@@ -400,7 +463,11 @@ class ExecutionGuard:
         runs on the guard's configured ``backend``).  On a detected
         fault the call recovers through rebuild/retry, then the naive
         engine; it raises :class:`IntegrityError` only when the pinned
-        stream itself is corrupt.
+        stream itself is corrupt.  ``deadline`` (any object with
+        ``remaining() -> float``, e.g.
+        :class:`repro.serve.Deadline`) clips every retry sleep and
+        short-circuits remaining attempts once the budget is gone —
+        recovery then jumps straight to the terminal action.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.spasm.shape[1],):
@@ -409,17 +476,24 @@ class ExecutionGuard:
                 f"{self.spasm.shape}"
             )
         self._calls += 1
-        backoff = self.config.backoff_s
+        budget = _RetryBudget(self.config.backoff_s,
+                              self.config.max_retry_wall_s, deadline)
         for attempt in range(1, self.config.max_attempts + 1):
             if attempt > 1:
+                if budget.exhausted:
+                    self.log.record(ResilienceEvent(
+                        kind="deadline", surface="plan",
+                        action="fallback", attempt=attempt,
+                        detail="retry budget exhausted before "
+                               "recovery completed",
+                    ))
+                    break
                 self.log.record(ResilienceEvent(
                     kind="rebuild", surface="plan", action="retry",
                     attempt=attempt,
                     detail="recompiling the plan from the stream",
                 ))
-                if backoff:
-                    time.sleep(backoff)
-                    backoff *= 2
+                budget.sleep()
             plan = self._acquire(attempt)
             if plan is None:
                 continue
@@ -462,14 +536,29 @@ class ExecutionGuard:
 
     def spmm(self, x_block: np.ndarray,
              y_block: Optional[np.ndarray] = None,
-             jobs: Optional[int] = None) -> np.ndarray:
+             jobs: Optional[int] = None,
+             deadline: Any = None) -> np.ndarray:
         """Guarded multi-vector execution (validation + fallback).
 
         The per-row divergence oracle applies to SpMV only; SpMM gets
         plan validation, worker containment and the naive fallback.
+        ``deadline`` short-circuits remaining attempts as in
+        :meth:`spmv`.
         """
         self._calls += 1
+        budget = _RetryBudget(self.config.backoff_s,
+                              self.config.max_retry_wall_s, deadline)
         for attempt in range(1, self.config.max_attempts + 1):
+            if attempt > 1:
+                if budget.exhausted:
+                    self.log.record(ResilienceEvent(
+                        kind="deadline", surface="plan",
+                        action="fallback", attempt=attempt,
+                        detail="retry budget exhausted before "
+                               "recovery completed",
+                    ))
+                    break
+                budget.sleep()
             plan = self._acquire(attempt)
             if plan is None:
                 continue
@@ -502,7 +591,8 @@ class ExecutionGuard:
         return self.spasm.spmm_naive(x_block, y_block)
 
     def spmv_batch(self, xs: np.ndarray,
-                   jobs: Optional[int] = None) -> np.ndarray:
+                   jobs: Optional[int] = None,
+                   deadline: Any = None) -> np.ndarray:
         """Guarded batched SpMV: one ``(n_queries, ncols)`` row per query.
 
         Executes through :meth:`ExecutionPlan.spmv_batch` (blocked
@@ -510,7 +600,7 @@ class ExecutionGuard:
         guarded :meth:`spmv` calls.  The sampled divergence oracle
         cross-checks the first query of the batch when due; recovery
         follows the same rebuild/retry/fallback ladder as
-        :meth:`spmv`.
+        :meth:`spmv`, with retries clipped by ``deadline``.
         """
         xs = np.asarray(xs, dtype=np.float64)
         if xs.ndim != 2 or xs.shape[1] != self.spasm.shape[1]:
@@ -520,17 +610,24 @@ class ExecutionGuard:
                 f"{self.spasm.shape[1]})"
             )
         self._calls += 1
-        backoff = self.config.backoff_s
+        budget = _RetryBudget(self.config.backoff_s,
+                              self.config.max_retry_wall_s, deadline)
         for attempt in range(1, self.config.max_attempts + 1):
             if attempt > 1:
+                if budget.exhausted:
+                    self.log.record(ResilienceEvent(
+                        kind="deadline", surface="plan",
+                        action="fallback", attempt=attempt,
+                        detail="retry budget exhausted before "
+                               "recovery completed",
+                    ))
+                    break
                 self.log.record(ResilienceEvent(
                     kind="rebuild", surface="plan", action="retry",
                     attempt=attempt,
                     detail="recompiling the plan from the stream",
                 ))
-                if backoff:
-                    time.sleep(backoff)
-                    backoff *= 2
+                budget.sleep()
             plan = self._acquire(attempt)
             if plan is None:
                 continue

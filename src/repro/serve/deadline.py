@@ -1,0 +1,104 @@
+"""Per-request time budgets for the serving layer.
+
+A :class:`Deadline` is created once at request admission and then
+threaded through every layer that could spend wall time on the
+request's behalf — queue wait, guard retry backoff, batch coalescing.
+Each layer asks the *same* object how much budget is left, so the sum
+of all sleeps and retries can never exceed the request's budget: the
+failure mode the raw ``backoff_s *= 2`` loop had (each retry slept
+unconditionally, oblivious to how much time the request had already
+burned in the queue).
+
+The clock is injectable so tests drive expiry deterministically; the
+default is :func:`time.monotonic` (wall-clock adjustments must never
+extend or shrink a request budget).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's time budget ran out before a trusted answer existed.
+
+    Raised by :meth:`Deadline.check`; the serving layer catches it and
+    classifies the request as *shed* — the caller gets a refusal, never
+    a rushed or unverified result.
+    """
+
+
+class Deadline:
+    """One request's monotonic time budget.
+
+    Parameters
+    ----------
+    budget_s:
+        Seconds from construction until expiry; ``None`` never expires
+        (an unbounded deadline still supports :meth:`remaining` —
+        it returns ``inf`` — so callers need no special case).
+    clock:
+        Monotonic clock; injectable for deterministic tests.
+    """
+
+    __slots__ = ("budget_s", "_clock", "_start")
+
+    def __init__(self, budget_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if budget_s is not None and budget_s < 0:
+            raise ValueError(f"negative deadline budget {budget_s!r}")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._start = clock()
+
+    @classmethod
+    def after_ms(cls, ms: Optional[float],
+                 clock: Callable[[], float] = time.monotonic,
+                 ) -> "Deadline":
+        """A deadline ``ms`` milliseconds out (``None`` = unbounded)."""
+        return cls(None if ms is None else ms / 1e3, clock=clock)
+
+    def elapsed(self) -> float:
+        """Seconds spent since the deadline was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds of budget left (``inf`` when unbounded, floored at 0)."""
+        if self.budget_s is None:
+            return math.inf
+        return max(0.0, self.budget_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.remaining() <= 0.0
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget ran out."""
+        if self.expired:
+            where = f" during {context}" if context else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:.3f}s exceeded{where} "
+                f"({self.elapsed():.3f}s elapsed)"
+            )
+
+    def sleep(self, seconds: float) -> float:
+        """Sleep at most ``seconds``, clipped to the remaining budget.
+
+        Returns the time actually slept — a retry loop that sleeps
+        through this method can never blow the request budget.
+        """
+        nap = min(float(seconds), self.remaining())
+        if nap <= 0 or not math.isfinite(nap):
+            return 0.0
+        time.sleep(nap)
+        return nap
+
+    def render(self) -> str:
+        """One-line summary for logs and responses."""
+        if self.budget_s is None:
+            return "deadline[unbounded]"
+        return (f"deadline[{self.budget_s * 1e3:.1f}ms, "
+                f"{self.remaining() * 1e3:.1f}ms left]")

@@ -31,6 +31,7 @@ from repro.tune.config import (
     TUNED_STAGE,
     TUNER_VERSION,
     TunedConfig,
+    list_tuned,
     load_tuned,
     store_tuned,
     tuned_cache_key,
@@ -45,6 +46,7 @@ __all__ = [
     "TuneResult",
     "TunedConfig",
     "TunedExecutor",
+    "list_tuned",
     "load_tuned",
     "store_tuned",
     "tune_matrix",

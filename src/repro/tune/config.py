@@ -153,6 +153,36 @@ def store_tuned(cache: ArtifactCache, config: TunedConfig) -> None:
     )
 
 
+def list_tuned(cache: ArtifactCache) -> Dict[str, TunedConfig]:
+    """Every valid persisted tuning record, keyed by matrix digest.
+
+    The serving layer's warmup path uses this to pin tuned execution
+    for any registered matrix that was ever tuned against this cache,
+    without knowing the digests up front.  Records that fail to load
+    (corrupt, foreign version) are skipped — :func:`load_tuned`
+    already applies the quarantine policy.
+    """
+    prefix = f"{TUNED_STAGE}-"
+    records: Dict[str, TunedConfig] = {}
+    for name in cache.entries():
+        if not (name.startswith(prefix) and name.endswith(".npz")):
+            continue
+        key = name[len(prefix):-len(".npz")]
+        entry = cache.load(TUNED_STAGE, key)
+        if entry is None:
+            continue
+        try:
+            config = TunedConfig.from_meta(entry.meta)
+        except ValueError:
+            continue
+        if config.tuner_version != TUNER_VERSION:
+            continue
+        if tuned_cache_key(config.matrix_digest) != key:
+            continue
+        records[config.matrix_digest] = config
+    return records
+
+
 def load_tuned(cache: ArtifactCache,
                matrix_digest: str) -> Optional[TunedConfig]:
     """The persisted record for a matrix digest, or ``None``.

@@ -23,6 +23,8 @@ PACKAGES = [
     "repro.analyze",
     "repro.verify",
     "repro.tune",
+    "repro.resilience",
+    "repro.serve",
 ]
 
 

@@ -281,6 +281,65 @@ class TestFaultTolerance:
         coo = integer_coo(rng, 96, "mixed")
         assert encode(coo).plan().validate() == []
 
+    def test_torn_build_relabels_mutated_stream(
+        self, rng, tmp_path, monkeypatch
+    ):
+        """A mutation landing between the digest read and the compile
+        read must not label the corrupted plan with the pristine
+        digest (nor poison the cache under the pristine key)."""
+        from repro.exec.plan import _plan_cache_key
+
+        spasm = encode(integer_coo(rng, n=64))
+        pristine_digest = stream_digest(spasm)
+        cache = ArtifactCache(tmp_path)
+        x = rng.random(spasm.shape[1])
+
+        real_compile = ExecutionPlan._compile.__func__
+        tears = {"left": 1}
+
+        def torn_compile(cls, sp, digest, **kw):
+            if tears["left"]:
+                tears["left"] -= 1
+                sp.values.reshape(-1)[0] += 1.0
+            return real_compile(cls, sp, digest, **kw)
+
+        monkeypatch.setattr(
+            ExecutionPlan, "_compile", classmethod(torn_compile)
+        )
+        plan = ExecutionPlan.build(spasm, cache=cache)
+        monkeypatch.setattr(
+            ExecutionPlan, "_compile", classmethod(real_compile)
+        )
+        # The returned plan carries the post-mutation digest and
+        # computes the post-mutation matrix.
+        assert plan.digest == stream_digest(spasm)
+        assert plan.digest != pristine_digest
+        assert np.array_equal(plan.spmv(x), spasm.spmv_naive(x))
+        # Nothing was persisted under the stale pristine key.
+        stale = _plan_cache_key(pristine_digest, None, None)
+        assert cache.load(PLAN_STAGE, stale) is None
+        assert cache.load(
+            PLAN_STAGE, _plan_cache_key(plan.digest, None, None)
+        ) is not None
+
+    def test_endlessly_mutating_stream_refuses_to_build(
+        self, rng, monkeypatch
+    ):
+        """A stream that never holds still across a build window is
+        unlabelable — build() must refuse rather than guess."""
+        spasm = encode(integer_coo(rng, n=64))
+        real_compile = ExecutionPlan._compile.__func__
+
+        def torn_compile(cls, sp, digest, **kw):
+            sp.values.reshape(-1)[0] += 1.0
+            return real_compile(cls, sp, digest, **kw)
+
+        monkeypatch.setattr(
+            ExecutionPlan, "_compile", classmethod(torn_compile)
+        )
+        with pytest.raises(RuntimeError, match="kept mutating"):
+            ExecutionPlan.build(spasm)
+
 
 # -- hypothesis: any single-bit flip in any plan array is caught --------
 

@@ -360,3 +360,108 @@ class TestKeys:
         assert rebuilt.k == portfolio.k
         assert [t.mask for t in rebuilt.templates] == \
             [t.mask for t in portfolio.templates]
+
+
+class TestEviction:
+    """``max_bytes`` arms LRU eviction; recency follows hits."""
+
+    def store_keyed(self, cache, key, fill, size=512):
+        cache.store("analysis", key * 40,
+                    {"v": np.full(size, fill, dtype=np.int64)}, {})
+        return cache.path("analysis", key * 40)
+
+    def entry_size(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = self.store_keyed(cache, "a", 0)
+        return os.path.getsize(path)
+
+    def test_budget_evicts_oldest(self, tmp_path):
+        events = []
+        size = self.entry_size(tmp_path / "probe")
+        cache = ArtifactCache(
+            tmp_path, max_bytes=int(3.5 * size),
+            on_event=lambda kind, d: events.append((kind, d)),
+        )
+        # Pin mtimes as entries land so LRU order is unambiguous:
+        # a oldest, c newest.
+        for age, key in enumerate("abc"):
+            path = self.store_keyed(cache, key, age)
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        self.store_keyed(cache, "d", 3)
+        assert cache.total_bytes() <= cache.max_bytes
+        names = cache.entries()
+        assert not any("a" * 40 in n for n in names)  # LRU victim
+        assert any("d" * 40 in n for n in names)  # just written
+        evicts = [d for kind, d in events if kind == "evict"]
+        assert evicts and all(
+            d["max_bytes"] == cache.max_bytes for d in evicts
+        )
+
+    def test_load_bumps_recency(self, tmp_path):
+        size = self.entry_size(tmp_path / "probe")
+        cache = ArtifactCache(tmp_path, max_bytes=int(2.5 * size))
+        for age, key in enumerate("ab"):
+            path = self.store_keyed(cache, key, age)
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        # A hit on the nominally-older entry rescues it from LRU.
+        assert cache.load("analysis", "a" * 40) is not None
+        self.store_keyed(cache, "c", 2)
+        names = cache.entries()
+        assert any("a" * 40 in n for n in names)
+        assert not any("b" * 40 in n for n in names)
+
+    def test_oversized_entry_never_evicts_itself(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=64)  # below any entry
+        self.store_keyed(cache, "a", 0)
+        assert cache.load("analysis", "a" * 40) is not None
+
+    def test_no_budget_keeps_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i, key in enumerate("abcdef"):
+            self.store_keyed(cache, key, i)
+        assert len(cache.entries()) == 6
+
+    def test_quarantine_retention_cap(self, tmp_path):
+        cache = ArtifactCache(tmp_path, quarantine_keep=2)
+        for round_idx in range(5):
+            self.store_keyed(cache, "a", round_idx)
+            path = cache.path("analysis", "a" * 40)
+            with open(path, "wb") as fh:
+                fh.write(b"junk")
+            assert cache.load("analysis", "a" * 40) is None
+        # Reason sidecars ride along with their corpses.
+        assert len(cache.quarantined()) <= 2
+        reasons = [
+            n for n in os.listdir(cache.quarantine_dir)
+            if n.endswith(".reason")
+        ]
+        assert len(reasons) <= 2
+
+    def test_concurrent_readers_writers_under_budget(self, tmp_path):
+        """Readers racing writers racing the evictor: every load is a
+        clean hit (a complete payload) or a clean miss, never a torn
+        read or an exception."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        size = self.entry_size(tmp_path / "probe")
+        cache = ArtifactCache(tmp_path, max_bytes=int(3.5 * size))
+        keys = [chr(ord("a") + i) * 40 for i in range(8)]
+
+        def writer(i):
+            cache.store("analysis", keys[i % 8],
+                        {"v": np.full(512, i % 8, dtype=np.int64)},
+                        {})
+
+        def reader(i):
+            entry = cache.load("analysis", keys[i % 8])
+            if entry is not None:
+                assert np.array_equal(
+                    entry.arrays["v"],
+                    np.full(512, i % 8, dtype=np.int64),
+                )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(writer, range(64)))
+            list(pool.map(reader, range(64)))
+        assert cache.quarantined() == ()
+        assert cache.total_bytes() <= cache.max_bytes + size
